@@ -1,0 +1,69 @@
+package privcloud
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSystemReplicas(t *testing.T) {
+	sys := demoSystem(t)
+	data := make([]byte, 40_000)
+	rand.New(rand.NewSource(10)).Read(data)
+	if _, err := sys.Upload("acme", "s3cret", "r", data, Moderate, UploadOptions{Replicas: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.MirrorShards != st.Chunks {
+		t.Fatalf("mirrors = %d, chunks = %d", st.MirrorShards, st.Chunks)
+	}
+	back, err := sys.GetFile("acme", "s3cret", "r")
+	if err != nil || !bytes.Equal(back, data) {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestSystemDecommission(t *testing.T) {
+	sys := demoSystem(t)
+	data := make([]byte, 60_000)
+	rand.New(rand.NewSource(11)).Read(data)
+	if _, err := sys.Upload("acme", "s3cret", "d", data, Moderate, UploadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Evacuate the busiest provider.
+	victimName := ""
+	most := -1
+	for _, p := range sys.Fleet().All() {
+		if p.Len() > most {
+			victimName, most = p.Info().Name, p.Len()
+		}
+	}
+	rep, err := sys.DecommissionProvider(victimName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ChunksMoved+rep.ParityMoved == 0 {
+		t.Fatalf("nothing moved: %+v", rep)
+	}
+	victim, _, _ := sys.Fleet().ByName(victimName)
+	if victim.Len() != 0 {
+		t.Fatalf("victim still holds %d keys", victim.Len())
+	}
+	if !victim.Down() {
+		t.Fatal("victim not marked down after decommission")
+	}
+	back, err := sys.GetFile("acme", "s3cret", "d")
+	if err != nil || !bytes.Equal(back, data) {
+		t.Fatalf("data after decommission: %v", err)
+	}
+	// New uploads avoid the decommissioned provider.
+	if _, err := sys.Upload("acme", "s3cret", "d2", data, Moderate, UploadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if victim.Len() != 0 {
+		t.Fatal("new upload placed shards on the decommissioned provider")
+	}
+	if _, err := sys.DecommissionProvider("ghost"); err == nil {
+		t.Fatal("unknown provider accepted")
+	}
+}

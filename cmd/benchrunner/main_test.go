@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+// TestAllExperimentsRun executes every experiment id end to end — the
+// same code path `benchrunner -exp all` takes.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, id := range experimentsOrder {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if err := run(id, false); err != nil {
+				t.Fatalf("experiment %s: %v", id, err)
+			}
+		})
+	}
+}
+
+func TestVerboseGPS(t *testing.T) {
+	if err := run("fig4", true); err != nil {
+		t.Fatal(err)
+	}
+}

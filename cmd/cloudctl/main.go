@@ -1,0 +1,244 @@
+// Command cloudctl is the client-side CLI for a running Cloud Data
+// Distributor: register clients and passwords, upload/fetch/update/remove
+// files and chunks, and inspect the paper's three tables.
+//
+// Usage:
+//
+//	cloudctl -server http://localhost:9000 register bob
+//	cloudctl -server http://localhost:9000 passwd bob x9pr 1
+//	cloudctl -server http://localhost:9000 upload bob x9pr file1 ./local.csv 1
+//	cloudctl -server http://localhost:9000 get bob x9pr file1 ./out.csv
+//	cloudctl -server http://localhost:9000 get-chunk bob x9pr file1 0
+//	cloudctl -server http://localhost:9000 tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/privacy"
+	"repro/internal/raid"
+	"repro/internal/transport"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:9000", "distributor base URL")
+	pl := flag.Int("pl", 1, "privacy level for uploads (0-3)")
+	raid6 := flag.Bool("raid6", false, "request RAID-6 assurance on upload")
+	mislead := flag.Float64("mislead", 0, "misleading-byte fraction for uploads [0,1)")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	c := transport.NewClient(*server, nil)
+	cmd, rest := args[0], args[1:]
+	if err := run(c, cmd, rest, *pl, *raid6, *mislead); err != nil {
+		log.Fatalf("cloudctl %s: %v", cmd, err)
+	}
+}
+
+func run(c *transport.Client, cmd string, args []string, pl int, raid6 bool, mislead float64) error {
+	switch cmd {
+	case "register":
+		need(args, 1, "register <client>")
+		return c.RegisterClient(args[0])
+	case "passwd":
+		need(args, 3, "passwd <client> <password> <pl>")
+		lvl, err := strconv.Atoi(args[2])
+		if err != nil {
+			return fmt.Errorf("pl: %w", err)
+		}
+		return c.AddPassword(args[0], args[1], privacy.Level(lvl))
+	case "upload":
+		need(args, 4, "upload <client> <password> <filename> <localpath> [pl]")
+		if len(args) >= 5 {
+			lvl, err := strconv.Atoi(args[4])
+			if err != nil {
+				return fmt.Errorf("pl: %w", err)
+			}
+			pl = lvl
+		}
+		data, err := os.ReadFile(args[3])
+		if err != nil {
+			return err
+		}
+		opts := transport.UploadOptions{MisleadFraction: mislead}
+		if raid6 {
+			opts.Assurance = raid.RAID6
+		}
+		info, err := c.Upload(args[0], args[1], args[2], data, privacy.Level(pl), opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("uploaded %s: %d bytes -> %d chunks at %v, %v assurance\n",
+			info.Filename, info.Bytes, info.Chunks, info.PL, info.Raid)
+		return nil
+	case "get":
+		need(args, 4, "get <client> <password> <filename> <outpath>")
+		data, err := c.GetFile(args[0], args[1], args[2])
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(args[3], data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("retrieved %s: %d bytes -> %s\n", args[2], len(data), args[3])
+		return nil
+	case "get-chunk":
+		need(args, 4, "get-chunk <client> <password> <filename> <serial>")
+		serial, err := strconv.Atoi(args[3])
+		if err != nil {
+			return fmt.Errorf("serial: %w", err)
+		}
+		data, err := c.GetChunk(args[0], args[1], args[2], serial)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
+	case "snapshot":
+		need(args, 4, "snapshot <client> <password> <filename> <serial>")
+		serial, err := strconv.Atoi(args[3])
+		if err != nil {
+			return fmt.Errorf("serial: %w", err)
+		}
+		data, err := c.GetSnapshot(args[0], args[1], args[2], serial)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
+	case "update-chunk":
+		need(args, 5, "update-chunk <client> <password> <filename> <serial> <localpath>")
+		serial, err := strconv.Atoi(args[3])
+		if err != nil {
+			return fmt.Errorf("serial: %w", err)
+		}
+		data, err := os.ReadFile(args[4])
+		if err != nil {
+			return err
+		}
+		return c.UpdateChunk(args[0], args[1], args[2], serial, data)
+	case "rm":
+		need(args, 3, "rm <client> <password> <filename>")
+		return c.RemoveFile(args[0], args[1], args[2])
+	case "rm-chunk":
+		need(args, 4, "rm-chunk <client> <password> <filename> <serial>")
+		serial, err := strconv.Atoi(args[3])
+		if err != nil {
+			return fmt.Errorf("serial: %w", err)
+		}
+		return c.RemoveChunk(args[0], args[1], args[2], serial)
+	case "get-range":
+		need(args, 5, "get-range <client> <password> <filename> <offset> <length>")
+		offset, err := strconv.Atoi(args[3])
+		if err != nil {
+			return fmt.Errorf("offset: %w", err)
+		}
+		length, err := strconv.Atoi(args[4])
+		if err != nil {
+			return fmt.Errorf("length: %w", err)
+		}
+		data, err := c.GetRange(args[0], args[1], args[2], offset, length)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
+	case "scrub":
+		rep, err := c.Scrub()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scrub: checked=%d healthy=%d repaired=%d unrepairable=%d\n",
+			rep.ChunksChecked, rep.Healthy, rep.Repaired, rep.Unrepairable)
+		return nil
+	case "decommission":
+		need(args, 1, "decommission <provider-index>")
+		idx, err := strconv.Atoi(args[0])
+		if err != nil {
+			return fmt.Errorf("provider-index: %w", err)
+		}
+		rep, err := c.Decommission(idx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("decommissioned %s: chunks=%d mirrors=%d parity=%d snapshots=%d moved\n",
+			rep.Provider, rep.ChunksMoved, rep.MirrorsMoved, rep.ParityMoved, rep.SnapshotsMoved)
+		return nil
+	case "count":
+		need(args, 3, "count <client> <password> <filename>")
+		n, err := c.ChunkCount(args[0], args[1], args[2])
+		if err != nil {
+			return err
+		}
+		fmt.Println(n)
+		return nil
+	case "tables":
+		prows, err := c.ProviderTable()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table I — Cloud Provider Table")
+		fmt.Print(core.FormatProviderTable(prows))
+		crows, err := c.ClientTable()
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nTable II — Client Table")
+		fmt.Print(core.FormatClientTable(crows))
+		chrows, err := c.ChunkTable()
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nTable III — Chunk Table")
+		fmt.Print(core.FormatChunkTable(chrows))
+		return nil
+	case "stats":
+		s, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("clients=%d files=%d chunks=%d parity=%d stripes=%d per-provider=%v\n",
+			s.Clients, s.Files, s.Chunks, s.ParityShards, s.Stripes, s.PerProvider)
+		return nil
+	default:
+		usage()
+		return nil
+	}
+}
+
+func need(args []string, n int, usageLine string) {
+	if len(args) < n {
+		fmt.Fprintf(os.Stderr, "usage: cloudctl %s\n", usageLine)
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: cloudctl [-server URL] [-pl N] [-raid6] [-mislead F] <command> ...
+
+commands:
+  register <client>
+  passwd <client> <password> <pl>
+  upload <client> <password> <filename> <localpath> [pl]
+  get <client> <password> <filename> <outpath>
+  get-chunk <client> <password> <filename> <serial>
+  snapshot <client> <password> <filename> <serial>
+  update-chunk <client> <password> <filename> <serial> <localpath>
+  rm <client> <password> <filename>
+  rm-chunk <client> <password> <filename> <serial>
+  get-range <client> <password> <filename> <offset> <length>
+  count <client> <password> <filename>
+  scrub
+  decommission <provider-index>
+  tables
+  stats`)
+	os.Exit(2)
+}

@@ -1,0 +1,102 @@
+// Command distributor runs the Cloud Data Distributor as an HTTP service.
+// Providers are either remote (HTTP URLs from -providers) or an in-process
+// simulated fleet (-local-providers), so the whole paper architecture can
+// run as separate OS processes or as one.
+//
+// Usage:
+//
+//	distributor -addr :9000 -providers http://localhost:9001,http://localhost:9002,http://localhost:9003
+//	distributor -addr :9000 -local-providers 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/privacy"
+	"repro/internal/provider"
+	"repro/internal/raid"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":9000", "listen address")
+		providers = flag.String("providers", "", "comma-separated provider base URLs")
+		localN    = flag.Int("local-providers", 0, "run N in-process simulated providers instead of remote ones")
+		width     = flag.Int("stripe-width", 4, "max data shards per RAID stripe")
+		raid6     = flag.Bool("raid6", false, "default to RAID-6 instead of RAID-5")
+		secret    = flag.String("secret", "cloud-data-distributor", "virtual-id PRF secret")
+	)
+	flag.Parse()
+
+	fleet, err := buildFleet(*providers, *localN)
+	if err != nil {
+		log.Fatalf("distributor: %v", err)
+	}
+	level := raid.RAID5
+	if *raid6 {
+		level = raid.RAID6
+	}
+	dist, err := core.New(core.Config{
+		Fleet:       fleet,
+		DefaultRaid: level,
+		StripeWidth: *width,
+		Secret:      []byte(*secret),
+	})
+	if err != nil {
+		log.Fatalf("distributor: %v", err)
+	}
+	fmt.Printf("cloud data distributor over %d providers (default %v) listening on %s\n",
+		fleet.Len(), level, *addr)
+	log.Fatal(http.ListenAndServe(*addr, transport.NewDistributorServer(dist)))
+}
+
+func buildFleet(urls string, localN int) (*provider.Fleet, error) {
+	fleet, err := provider.NewFleet()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case urls != "":
+		for _, u := range strings.Split(urls, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			rp, err := transport.DialProvider(u, nil)
+			if err != nil {
+				return nil, fmt.Errorf("dial %s: %w", u, err)
+			}
+			if err := fleet.Add(rp); err != nil {
+				return nil, err
+			}
+			fmt.Printf("joined provider %q at %s (PL%d, CL%d)\n",
+				rp.Info().Name, u, rp.Info().PL, rp.Info().CL)
+		}
+	case localN > 0:
+		for i := 0; i < localN; i++ {
+			p, err := provider.New(provider.Info{
+				Name: fmt.Sprintf("local%02d", i),
+				PL:   privacy.High,
+				CL:   privacy.CostLevel(i % 4),
+			}, provider.Options{})
+			if err != nil {
+				return nil, err
+			}
+			if err := fleet.Add(p); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("need -providers or -local-providers")
+	}
+	if fleet.Len() == 0 {
+		return nil, fmt.Errorf("no providers configured")
+	}
+	return fleet, nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/privacy"
+	"repro/internal/provider"
+	"repro/internal/transport"
+)
+
+func TestBuildFleetLocal(t *testing.T) {
+	fleet, err := buildFleet("", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Len() != 5 {
+		t.Fatalf("fleet = %d", fleet.Len())
+	}
+	p, _ := fleet.At(0)
+	if p.Info().PL != privacy.High {
+		t.Fatalf("PL = %v", p.Info().PL)
+	}
+}
+
+func TestBuildFleetRemote(t *testing.T) {
+	mem := provider.MustNew(provider.Info{Name: "r1", PL: privacy.Moderate, CL: 1}, provider.Options{})
+	srv := httptest.NewServer(transport.NewProviderServer(mem))
+	defer srv.Close()
+	fleet, err := buildFleet(srv.URL+" , ", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Len() != 1 {
+		t.Fatalf("fleet = %d", fleet.Len())
+	}
+	p, _, err := fleet.ByName("r1")
+	if err != nil || p.Info().CL != 1 {
+		t.Fatalf("remote provider: %v", err)
+	}
+}
+
+func TestBuildFleetErrors(t *testing.T) {
+	if _, err := buildFleet("", 0); err == nil {
+		t.Fatal("no providers accepted")
+	}
+	if _, err := buildFleet("http://127.0.0.1:1", 0); err == nil {
+		t.Fatal("dead provider URL accepted")
+	}
+}

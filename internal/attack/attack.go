@@ -1,0 +1,309 @@
+// Package attack simulates the paper's two adversaries: the malicious
+// insider at a cloud provider (the paper's "Hera" at "Titans") who mines
+// everything that provider stores, and the outside attacker who manages
+// to compromise some subset of providers and pools their contents. Both
+// run the mining toolkit over whatever raw blobs they can see — which is
+// exactly how the defence is supposed to bite: fragments are partial,
+// rows are cut at chunk boundaries, parity shards parse as garbage, and
+// misleading records blend in.
+package attack
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/mining"
+	"repro/internal/provider"
+)
+
+// Blob is one stored object as an attacker sees it: an opaque key (the
+// virtual id, which deliberately carries no client identity) and raw
+// bytes.
+type Blob struct {
+	Provider string
+	Key      string
+	Data     []byte
+}
+
+// DumpProviders collects the full contents of the given fleet indices —
+// the view of an attacker who owns exactly those providers. Blobs are
+// returned sorted by (provider, key): the attacker has no way to learn
+// original chunk order.
+func DumpProviders(fleet *provider.Fleet, indices []int) ([]Blob, error) {
+	var blobs []Blob
+	for _, i := range indices {
+		p, err := fleet.At(i)
+		if err != nil {
+			return nil, err
+		}
+		name := p.Info().Name
+		for key, data := range p.Dump() {
+			blobs = append(blobs, Blob{Provider: name, Key: key, Data: data})
+		}
+	}
+	sort.Slice(blobs, func(a, b int) bool {
+		if blobs[a].Provider != blobs[b].Provider {
+			return blobs[a].Provider < blobs[b].Provider
+		}
+		return blobs[a].Key < blobs[b].Key
+	})
+	return blobs, nil
+}
+
+// CompromiseRandom picks k distinct providers at random — the outside
+// attacker's foothold — and returns their indices plus contents.
+func CompromiseRandom(fleet *provider.Fleet, k int, rng *rand.Rand) ([]int, []Blob, error) {
+	if k < 0 || k > fleet.Len() {
+		return nil, nil, fmt.Errorf("attack: compromise %d of %d providers", k, fleet.Len())
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	perm := rng.Perm(fleet.Len())[:k]
+	sort.Ints(perm)
+	blobs, err := DumpProviders(fleet, perm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return perm, blobs, nil
+}
+
+// BiddingResult is the outcome of the Table IV regression attack.
+type BiddingResult struct {
+	// RowsRecovered is how many bidding records parsed out of the blobs.
+	RowsRecovered int
+	// RowsSkipped counts unparseable fragments (cut lines, parity bytes,
+	// decoys that fail to parse).
+	RowsSkipped int
+	// Model is the attacker's fitted pricing rule; nil if mining failed.
+	Model *mining.RegressionModel
+	// FitErr is non-nil when regression itself failed (e.g. too few
+	// samples — the failure mode fragmentation aims for).
+	FitErr error
+}
+
+// BiddingRegressionAttack pools all blobs, parses whatever bidding rows
+// survive, and fits the multivariate linear model the paper's malicious
+// employee uses.
+func BiddingRegressionAttack(blobs []Blob) BiddingResult {
+	var res BiddingResult
+	var x [][]float64
+	var y []float64
+	for _, b := range blobs {
+		recs, skipped, err := dataset.ParseBiddingCSV(b.Data)
+		if err != nil {
+			res.RowsSkipped++
+			continue
+		}
+		res.RowsSkipped += skipped
+		res.RowsRecovered += len(recs)
+		bx, by := dataset.Features(recs)
+		x = append(x, bx...)
+		y = append(y, by...)
+	}
+	if len(x) == 0 {
+		res.FitErr = fmt.Errorf("attack: no bidding rows recovered: %w", mining.ErrTooFewSamples)
+		return res
+	}
+	model, err := mining.LinearRegression(x, y)
+	if err != nil {
+		res.FitErr = err
+		return res
+	}
+	res.Model = model
+	return res
+}
+
+// PerProviderBiddingModels runs the regression attack separately for each
+// provider (each insider mines only what it stores) — the paper's
+// Titans/Spartans/Yagamis scenario producing three mutually inconsistent
+// misleading equations.
+func PerProviderBiddingModels(blobs []Blob) map[string]BiddingResult {
+	byProv := map[string][]Blob{}
+	for _, b := range blobs {
+		byProv[b.Provider] = append(byProv[b.Provider], b)
+	}
+	out := make(map[string]BiddingResult, len(byProv))
+	for name, bs := range byProv {
+		out[name] = BiddingRegressionAttack(bs)
+	}
+	return out
+}
+
+// GPSResult is the outcome of the Figs. 4–6 clustering attack.
+type GPSResult struct {
+	PointsRecovered int
+	PointsSkipped   int
+	// UserIDs are the users visible in the recovered data, ascending.
+	UserIDs []int
+	// Dendrogram is the hierarchical binary cluster tree over visible
+	// users (nil if fewer than one user was visible).
+	Dendrogram *mining.Dendrogram
+	// Labels is the flat clustering obtained by cutting the tree into k
+	// clusters (parallel to UserIDs).
+	Labels []int
+}
+
+// GPSClusteringAttack parses GPS observations out of the blobs, reduces
+// them to per-user features, and builds the binary cluster tree exactly
+// as the paper's evaluation does with MATLAB. Rows cut at chunk
+// boundaries can still parse with truncated coordinates, so the attacker
+// applies the sanity filtering any competent analyst would: coordinates
+// must be on Earth and within city range of the data's median.
+func GPSClusteringAttack(blobs []Blob, cutK int) (GPSResult, error) {
+	var res GPSResult
+	var points []dataset.GPSPoint
+	for _, b := range blobs {
+		pts, skipped := dataset.ParseGPSCSV(b.Data)
+		points = append(points, pts...)
+		res.PointsSkipped += skipped
+	}
+	points, dropped := filterImplausible(points)
+	res.PointsSkipped += dropped
+	res.PointsRecovered = len(points)
+	if len(points) == 0 {
+		return res, fmt.Errorf("attack: no GPS observations recovered: %w", mining.ErrTooFewSamples)
+	}
+	vectors, ids := dataset.UserFeatureVectors(points)
+	res.UserIDs = ids
+	dg, err := mining.ClusterPoints(vectors, mining.AverageLinkage)
+	if err != nil {
+		return res, err
+	}
+	res.Dendrogram = dg
+	if cutK < 1 {
+		cutK = 1
+	}
+	if cutK > len(ids) {
+		cutK = len(ids)
+	}
+	labels, err := dg.Cut(cutK)
+	if err != nil {
+		return res, err
+	}
+	res.Labels = labels
+	return res, nil
+}
+
+// filterImplausible drops observations with off-Earth coordinates or
+// coordinates further than ~1° (city scale) from the data's median —
+// the artifacts of rows truncated at chunk boundaries.
+func filterImplausible(points []dataset.GPSPoint) (kept []dataset.GPSPoint, dropped int) {
+	var lats, lons []float64
+	for _, p := range points {
+		if p.Lat < -90 || p.Lat > 90 || p.Lon < -180 || p.Lon > 180 {
+			continue
+		}
+		lats = append(lats, p.Lat)
+		lons = append(lons, p.Lon)
+	}
+	if len(lats) == 0 {
+		return nil, len(points)
+	}
+	medLat, medLon := median(lats), median(lons)
+	for _, p := range points {
+		if math.Abs(p.Lat-medLat) > 1 || math.Abs(p.Lon-medLon) > 1 {
+			dropped++
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return kept, dropped
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// BasketResult is the outcome of the association-rule attack.
+type BasketResult struct {
+	TxnsRecovered int
+	Rules         []mining.Rule
+	Frequent      []mining.FrequentItemSet
+	FitErr        error
+}
+
+// BasketRuleAttack parses newline-separated comma-joined transactions out
+// of the blobs and mines association rules.
+func BasketRuleAttack(blobs []Blob, minSupport, minConfidence float64) BasketResult {
+	var res BasketResult
+	var txns []mining.Transaction
+	for _, b := range blobs {
+		txns = append(txns, parseBasketLines(b.Data)...)
+	}
+	res.TxnsRecovered = len(txns)
+	if len(txns) == 0 {
+		res.FitErr = fmt.Errorf("attack: no transactions recovered: %w", mining.ErrTooFewSamples)
+		return res
+	}
+	freq, rules, err := mining.Apriori(txns, minSupport, minConfidence)
+	if err != nil {
+		res.FitErr = err
+		return res
+	}
+	res.Frequent = freq
+	res.Rules = rules
+	return res
+}
+
+// parseBasketLines splits blob bytes into transactions; a line is a
+// comma-separated item list. Lines with fewer than 1 item are skipped.
+func parseBasketLines(data []byte) []mining.Transaction {
+	var txns []mining.Transaction
+	start := 0
+	flush := func(end int) {
+		line := string(data[start:end])
+		if line == "" {
+			return
+		}
+		var t mining.Transaction
+		field := ""
+		for _, r := range line {
+			if r == ',' {
+				if field != "" {
+					t = append(t, field)
+				}
+				field = ""
+				continue
+			}
+			field += string(r)
+		}
+		if field != "" {
+			t = append(t, field)
+		}
+		if len(t) > 0 {
+			txns = append(txns, t)
+		}
+	}
+	for i, b := range data {
+		if b == '\n' {
+			flush(i)
+			start = i + 1
+		}
+	}
+	if start < len(data) {
+		flush(len(data))
+	}
+	return txns
+}
+
+// HasRule reports whether a mined rule set contains antecedent → consequent
+// as single items.
+func HasRule(rules []mining.Rule, antecedent, consequent string) bool {
+	for _, r := range rules {
+		if len(r.Antecedent) == 1 && len(r.Consequent) == 1 &&
+			r.Antecedent[0] == antecedent && r.Consequent[0] == consequent {
+			return true
+		}
+	}
+	return false
+}

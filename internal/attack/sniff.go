@@ -1,0 +1,128 @@
+package attack
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// BlobKind classifies what a stolen blob appears to contain. Attackers
+// facing a pile of opaque chunks triage them by content before picking a
+// mining algorithm; this is that triage.
+type BlobKind int
+
+const (
+	// KindUnknown marks blobs no parser makes sense of (e.g. RAID parity
+	// or encrypted payloads).
+	KindUnknown BlobKind = iota
+	// KindBidding marks 6-column numeric CSV rows (year, company, costs).
+	KindBidding
+	// KindGPS marks 4-column numeric CSV rows (user, t, lat, lon).
+	KindGPS
+	// KindBaskets marks comma-joined non-numeric item lists.
+	KindBaskets
+)
+
+func (k BlobKind) String() string {
+	switch k {
+	case KindBidding:
+		return "bidding"
+	case KindGPS:
+		return "gps"
+	case KindBaskets:
+		return "baskets"
+	default:
+		return "unknown"
+	}
+}
+
+// Sniff guesses a blob's content kind from parse success rates. A kind
+// wins if it parses at least half of the blob's lines and beats the
+// other candidates.
+func Sniff(data []byte) BlobKind {
+	lines := 0
+	for _, b := range data {
+		if b == '\n' {
+			lines++
+		}
+	}
+	if lines == 0 {
+		lines = 1
+	}
+	bidRecs, _, err := dataset.ParseBiddingCSV(data)
+	bidScore := 0.0
+	if err == nil {
+		bidScore = float64(len(bidRecs)) / float64(lines)
+	}
+	gpsPts, _ := dataset.ParseGPSCSV(data)
+	gpsScore := float64(len(gpsPts)) / float64(lines)
+	basketScore := basketLikeness(data, lines)
+
+	best, bestScore := KindUnknown, 0.5
+	for _, c := range []struct {
+		kind  BlobKind
+		score float64
+	}{
+		{KindBidding, bidScore},
+		{KindGPS, gpsScore},
+		{KindBaskets, basketScore},
+	} {
+		if c.score > bestScore {
+			best, bestScore = c.kind, c.score
+		}
+	}
+	return best
+}
+
+// basketLikeness scores the fraction of lines that look like item lists:
+// printable comma-separated tokens, mostly non-numeric. Binary payloads
+// (parity shards, ciphertexts) score zero because their "lines" contain
+// non-printable bytes.
+func basketLikeness(data []byte, lines int) float64 {
+	ok := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || !printable(line) {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		nonNumeric := 0
+		for _, f := range fields {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			if _, err := strconv.ParseFloat(f, 64); err != nil {
+				nonNumeric++
+			}
+		}
+		// Item lists are mostly non-numeric tokens; CSV records with a
+		// single text column (like the bidding "company") are not.
+		if nonNumeric >= len(fields)-1 && nonNumeric >= 1 {
+			ok++
+		}
+	}
+	return float64(ok) / float64(lines)
+}
+
+// printable reports whether a line consists solely of printable ASCII.
+func printable(line string) bool {
+	for i := 0; i < len(line); i++ {
+		if line[i] < 0x20 || line[i] > 0x7E {
+			return false
+		}
+	}
+	return true
+}
+
+// FilterKind keeps only blobs sniffed as the wanted kind.
+func FilterKind(blobs []Blob, want BlobKind) []Blob {
+	var out []Blob
+	for _, b := range blobs {
+		if Sniff(b.Data) == want {
+			out = append(out, b)
+		}
+	}
+	return out
+}

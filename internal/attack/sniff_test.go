@@ -1,0 +1,87 @@
+package attack
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestSniffBidding(t *testing.T) {
+	data := dataset.BiddingCSV(dataset.PaperTable4())
+	if got := Sniff(data); got != KindBidding {
+		t.Fatalf("Sniff(bidding) = %v", got)
+	}
+}
+
+func TestSniffGPS(t *testing.T) {
+	_, pts, err := dataset.GenerateGPS(dataset.GPSConfig{Users: 5, Groups: 2, ObsPerUser: 20, AnchorNoise: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Sniff(dataset.GPSCSV(pts)); got != KindGPS {
+		t.Fatalf("Sniff(gps) = %v", got)
+	}
+}
+
+func TestSniffBaskets(t *testing.T) {
+	cfg := dataset.DefaultBasketConfig()
+	cfg.Transactions = 50
+	txns, err := dataset.GenerateBaskets(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body []byte
+	for _, txn := range txns {
+		body = append(body, []byte(strings.Join(txn, ","))...)
+		body = append(body, '\n')
+	}
+	if got := Sniff(body); got != KindBaskets {
+		t.Fatalf("Sniff(baskets) = %v", got)
+	}
+}
+
+func TestSniffGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	junk := make([]byte, 4096)
+	rng.Read(junk)
+	if got := Sniff(junk); got != KindUnknown {
+		t.Fatalf("Sniff(parity garbage) = %v", got)
+	}
+	if got := Sniff(nil); got != KindUnknown {
+		t.Fatalf("Sniff(empty) = %v", got)
+	}
+}
+
+func TestSniffKindString(t *testing.T) {
+	for k, want := range map[BlobKind]string{
+		KindUnknown: "unknown", KindBidding: "bidding", KindGPS: "gps", KindBaskets: "baskets",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestFilterKindSeparatesMixedLoot(t *testing.T) {
+	bid := dataset.BiddingCSV(dataset.PaperTable4())
+	_, pts, _ := dataset.GenerateGPS(dataset.GPSConfig{Users: 4, Groups: 2, ObsPerUser: 25, AnchorNoise: 0.01, Seed: 3})
+	gps := dataset.GPSCSV(pts)
+	blobs := []Blob{
+		{Provider: "p", Key: "a", Data: bid},
+		{Provider: "p", Key: "b", Data: gps},
+		{Provider: "p", Key: "c", Data: []byte{0x13, 0x37, 0x00}},
+	}
+	bids := FilterKind(blobs, KindBidding)
+	if len(bids) != 1 || bids[0].Key != "a" {
+		t.Fatalf("bidding filter = %v", bids)
+	}
+	gpsBlobs := FilterKind(blobs, KindGPS)
+	if len(gpsBlobs) != 1 || gpsBlobs[0].Key != "b" {
+		t.Fatalf("gps filter = %v", gpsBlobs)
+	}
+	if got := FilterKind(blobs, KindBaskets); len(got) != 0 {
+		t.Fatalf("baskets filter = %v", got)
+	}
+}

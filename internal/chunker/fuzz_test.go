@@ -1,0 +1,31 @@
+package chunker
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/privacy"
+)
+
+// FuzzSplitReassemble fuzzes the fragmentation round trip.
+func FuzzSplitReassemble(f *testing.F) {
+	f.Add([]byte("hello world"), 5)
+	f.Add([]byte{}, 1)
+	f.Add(bytes.Repeat([]byte{0xFF}, 300), 7)
+	f.Fuzz(func(t *testing.T, data []byte, size int) {
+		if size <= 0 || size > 1<<20 {
+			return
+		}
+		chunks, err := SplitSize(data, size, privacy.Moderate)
+		if err != nil {
+			t.Fatalf("split: %v", err)
+		}
+		got, err := Reassemble(chunks)
+		if err != nil {
+			t.Fatalf("reassemble: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

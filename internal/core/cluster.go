@@ -1,0 +1,206 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"repro/internal/privacy"
+)
+
+// metadataSnapshot is the replicated state of a distributor: everything a
+// secondary needs to serve retrievals (Fig. 2's extended architecture).
+type metadataSnapshot struct {
+	Clients   map[string]*clientEntry
+	Chunks    []chunkEntry
+	Stripes   []stripeEntry
+	ProvCount []int
+}
+
+// ExportMetadata serializes the distributor's tables for replication to
+// secondary distributors.
+func (d *Distributor) ExportMetadata() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	snap := metadataSnapshot{
+		Clients:   d.clients,
+		Chunks:    d.chunks,
+		Stripes:   d.stripes,
+		ProvCount: d.provCount,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("core: export metadata: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// ImportMetadata replaces the distributor's tables with a snapshot
+// exported by another distributor over the same fleet.
+func (d *Distributor) ImportMetadata(data []byte) error {
+	var snap metadataSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("core: import metadata: %w", err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(snap.ProvCount) != d.fleet.Len() {
+		return fmt.Errorf("%w: snapshot covers %d providers, fleet has %d", ErrConfig, len(snap.ProvCount), d.fleet.Len())
+	}
+	if snap.Clients == nil {
+		snap.Clients = map[string]*clientEntry{}
+	}
+	d.clients = snap.Clients
+	d.chunks = snap.Chunks
+	d.stripes = snap.Stripes
+	d.provCount = snap.ProvCount
+	return nil
+}
+
+// Cluster is the paper's extended architecture (Fig. 2): several Cloud
+// Data Distributors over one provider fleet. "For each client, a specific
+// distributor will act as the primary distributor that will upload data,
+// whereas other distributors will act as secondary distributors who can
+// perform the data retrieval operations." The primary's metadata is
+// replicated to the secondaries after every mutation, so retrieval keeps
+// working when the primary fails — eliminating the single point of
+// failure the paper's §IV-C identifies.
+type Cluster struct {
+	mu    sync.Mutex
+	dists []*Distributor
+	down  []bool
+}
+
+// NewCluster groups distributors; the first is the primary. All must
+// share the same provider fleet.
+func NewCluster(dists ...*Distributor) (*Cluster, error) {
+	if len(dists) == 0 {
+		return nil, fmt.Errorf("%w: empty cluster", ErrConfig)
+	}
+	for _, dd := range dists[1:] {
+		if dd.fleet != dists[0].fleet {
+			return nil, fmt.Errorf("%w: distributors must share one fleet", ErrConfig)
+		}
+	}
+	return &Cluster{dists: dists, down: make([]bool, len(dists))}, nil
+}
+
+// Primary returns the upload distributor.
+func (c *Cluster) Primary() *Distributor { return c.dists[0] }
+
+// Size returns the number of distributors.
+func (c *Cluster) Size() int { return len(c.dists) }
+
+// SetDown simulates a distributor failure (index 0 is the primary).
+func (c *Cluster) SetDown(i int, down bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.dists) {
+		return fmt.Errorf("%w: distributor index %d", ErrConfig, i)
+	}
+	c.down[i] = down
+	return nil
+}
+
+// Sync replicates the primary's metadata to every secondary.
+func (c *Cluster) Sync() error {
+	snap, err := c.dists[0].ExportMetadata()
+	if err != nil {
+		return err
+	}
+	for i, dd := range c.dists[1:] {
+		if err := dd.ImportMetadata(snap); err != nil {
+			return fmt.Errorf("core: sync to secondary %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+// primaryUp reports whether uploads can proceed.
+func (c *Cluster) primaryUp() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.down[0]
+}
+
+// RegisterClient registers on the primary and replicates.
+func (c *Cluster) RegisterClient(name string) error {
+	if !c.primaryUp() {
+		return fmt.Errorf("%w: primary distributor down", ErrUnavailable)
+	}
+	if err := c.dists[0].RegisterClient(name); err != nil {
+		return err
+	}
+	return c.Sync()
+}
+
+// AddPassword adds a password on the primary and replicates.
+func (c *Cluster) AddPassword(client, password string, pl privacy.Level) error {
+	if !c.primaryUp() {
+		return fmt.Errorf("%w: primary distributor down", ErrUnavailable)
+	}
+	if err := c.dists[0].AddPassword(client, password, pl); err != nil {
+		return err
+	}
+	return c.Sync()
+}
+
+// Upload uploads through the primary and replicates metadata.
+func (c *Cluster) Upload(client, password, filename string, data []byte, pl privacy.Level, opts UploadOptions) (FileInfo, error) {
+	if !c.primaryUp() {
+		return FileInfo{}, fmt.Errorf("%w: primary distributor down", ErrUnavailable)
+	}
+	info, err := c.dists[0].Upload(client, password, filename, data, pl, opts)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return info, c.Sync()
+}
+
+// eachUp visits distributors (primary first) until fn succeeds.
+func (c *Cluster) eachUp(fn func(*Distributor) error) error {
+	var lastErr error = fmt.Errorf("%w: all distributors down", ErrUnavailable)
+	for i, dd := range c.dists {
+		c.mu.Lock()
+		down := c.down[i]
+		c.mu.Unlock()
+		if down {
+			continue
+		}
+		if err := fn(dd); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// GetChunk retrieves via the first healthy distributor.
+func (c *Cluster) GetChunk(client, password, filename string, serial int) ([]byte, error) {
+	var out []byte
+	err := c.eachUp(func(dd *Distributor) error {
+		data, err := dd.GetChunk(client, password, filename, serial)
+		if err != nil {
+			return err
+		}
+		out = data
+		return nil
+	})
+	return out, err
+}
+
+// GetFile retrieves a whole file via the first healthy distributor.
+func (c *Cluster) GetFile(client, password, filename string) ([]byte, error) {
+	var out []byte
+	err := c.eachUp(func(dd *Distributor) error {
+		data, err := dd.GetFile(client, password, filename)
+		if err != nil {
+			return err
+		}
+		out = data
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/privacy"
+	"repro/internal/provider"
+)
+
+func testCluster(t *testing.T, nDist, nProv int) (*Cluster, *provider.Fleet) {
+	t.Helper()
+	fleet := testFleet(t, nProv)
+	dists := make([]*Distributor, nDist)
+	for i := range dists {
+		d, err := New(Config{Fleet: fleet, Secret: []byte{byte(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dists[i] = d
+	}
+	c, err := NewCluster(dists...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, fleet
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(); !errors.Is(err, ErrConfig) {
+		t.Fatalf("empty cluster: %v", err)
+	}
+	f1 := testFleet(t, 3)
+	f2 := testFleet(t, 3)
+	d1, _ := New(Config{Fleet: f1})
+	d2, _ := New(Config{Fleet: f2})
+	if _, err := NewCluster(d1, d2); !errors.Is(err, ErrConfig) {
+		t.Fatalf("mixed fleets: %v", err)
+	}
+}
+
+func TestClusterUploadAndRetrieveViaSecondary(t *testing.T) {
+	c, _ := testCluster(t, 3, 6)
+	if err := c.RegisterClient("bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPassword("bob", "pw", privacy.High); err != nil {
+		t.Fatal(err)
+	}
+	data := payload(90_000, 60)
+	info, err := c.Upload("bob", "pw", "f", data, privacy.Moderate, UploadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Chunks == 0 {
+		t.Fatal("no chunks")
+	}
+	// The primary fails ("a single data distributor ... can be the single
+	// point of failure"); secondaries must keep serving retrievals.
+	if err := c.SetDown(0, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.GetFile("bob", "pw", "f")
+	if err != nil {
+		t.Fatalf("retrieval with primary down: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("secondary served wrong data")
+	}
+	chunk, err := c.GetChunk("bob", "pw", "f", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunk) == 0 {
+		t.Fatal("empty chunk from secondary")
+	}
+	// Uploads require the primary.
+	if _, err := c.Upload("bob", "pw", "g", data, privacy.Low, UploadOptions{}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("upload with primary down: %v", err)
+	}
+	if err := c.RegisterClient("x"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("register with primary down: %v", err)
+	}
+	if err := c.AddPassword("bob", "q", privacy.Low); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("add password with primary down: %v", err)
+	}
+	// Recovery.
+	_ = c.SetDown(0, false)
+	if _, err := c.Upload("bob", "pw", "g", []byte("tiny"), privacy.Low, UploadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterAllDistributorsDown(t *testing.T) {
+	c, _ := testCluster(t, 2, 4)
+	_ = c.RegisterClient("bob")
+	_ = c.AddPassword("bob", "pw", privacy.High)
+	if _, err := c.Upload("bob", "pw", "f", []byte("data"), privacy.Low, UploadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.SetDown(0, true)
+	_ = c.SetDown(1, true)
+	if _, err := c.GetFile("bob", "pw", "f"); err == nil {
+		t.Fatal("retrieval succeeded with every distributor down")
+	}
+	if err := c.SetDown(5, true); !errors.Is(err, ErrConfig) {
+		t.Fatalf("bad index: %v", err)
+	}
+}
+
+func TestClusterAccessControlHoldsOnSecondaries(t *testing.T) {
+	c, _ := testCluster(t, 2, 5)
+	_ = c.RegisterClient("bob")
+	_ = c.AddPassword("bob", "admin", privacy.High)
+	_ = c.AddPassword("bob", "weak", privacy.Public)
+	if _, err := c.Upload("bob", "admin", "s", payload(9_000, 61), privacy.High, UploadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.SetDown(0, true)
+	if _, err := c.GetChunk("bob", "weak", "s", 0); !errors.Is(err, ErrAuth) {
+		t.Fatalf("secondary honored weak password: %v", err)
+	}
+}
+
+func TestExportImportMetadata(t *testing.T) {
+	fleet := testFleet(t, 4)
+	d1, _ := New(Config{Fleet: fleet})
+	_ = d1.RegisterClient("bob")
+	_ = d1.AddPassword("bob", "pw", privacy.High)
+	data := payload(30_000, 62)
+	if _, err := d1.Upload("bob", "pw", "f", data, privacy.Moderate, UploadOptions{MisleadFraction: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := d1.ExportMetadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := New(Config{Fleet: fleet})
+	if err := d2.ImportMetadata(snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d2.GetFile("bob", "pw", "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("imported distributor served wrong data")
+	}
+	if d2.Stats().Chunks != d1.Stats().Chunks {
+		t.Fatal("stats diverge after import")
+	}
+}
+
+func TestImportMetadataRejectsWrongFleet(t *testing.T) {
+	d1, _ := New(Config{Fleet: testFleet(t, 4)})
+	snap, _ := d1.ExportMetadata()
+	d2, _ := New(Config{Fleet: testFleet(t, 7)})
+	if err := d2.ImportMetadata(snap); !errors.Is(err, ErrConfig) {
+		t.Fatalf("fleet-size mismatch: %v", err)
+	}
+	if err := d2.ImportMetadata([]byte("garbage")); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+func TestMetadataNeverContainsPlaintextPasswords(t *testing.T) {
+	fleet := testFleet(t, 4)
+	d, _ := New(Config{Fleet: fleet})
+	_ = d.RegisterClient("bob")
+	secretPW := "hunter2-super-secret"
+	if err := d.AddPassword("bob", secretPW, privacy.High); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := d.ExportMetadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(snap, []byte(secretPW)) {
+		t.Fatal("plaintext password present in replicated metadata")
+	}
+	// Authentication still works (hash comparison).
+	if _, err := d.Upload("bob", secretPW, "f", []byte("x"), privacy.Low, UploadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Upload("bob", "wrong", "g", []byte("x"), privacy.Low, UploadOptions{}); !errors.Is(err, ErrAuth) {
+		t.Fatalf("wrong password: %v", err)
+	}
+	// The rendered client table shows only a hash prefix.
+	rendered := FormatClientTable(d.ClientTable())
+	if strings.Contains(rendered, secretPW) {
+		t.Fatal("plaintext password rendered in Table II")
+	}
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/privacy"
+	"repro/internal/provider"
+	"repro/internal/raid"
+)
+
+// Config assembles a Distributor.
+type Config struct {
+	// Fleet is the set of cloud providers chunks are scattered over.
+	Fleet *provider.Fleet
+	// ChunkPolicy maps privacy level → chunk size. Zero value selects
+	// privacy.DefaultChunkSizes.
+	ChunkPolicy privacy.ChunkSizePolicy
+	// DefaultRaid is used when an upload does not choose an assurance
+	// level. Zero selects RAID-5, the paper's default.
+	DefaultRaid raid.Level
+	// StripeWidth is the maximum number of data shards per stripe
+	// (default 4). The effective width also never exceeds the number of
+	// eligible providers minus parity.
+	StripeWidth int
+	// VIDs allocates virtual ids. Nil selects a PRF allocator keyed by
+	// Secret.
+	VIDs VIDAllocator
+	// Secret keys the default PRF allocator.
+	Secret []byte
+	// Parallelism bounds concurrent provider operations per request
+	// (default 4).
+	Parallelism int
+	// MisleadSeed makes decoy injection reproducible.
+	MisleadSeed int64
+}
+
+// Distributor is the Cloud Data Distributor. All methods are safe for
+// concurrent use.
+type Distributor struct {
+	mu sync.Mutex
+
+	fleet       *provider.Fleet
+	policy      privacy.ChunkSizePolicy
+	defaultRaid raid.Level
+	stripeWidth int
+	vids        VIDAllocator
+	parallelism int
+	misleadRNG  *rand.Rand
+
+	clients   map[string]*clientEntry
+	chunks    []chunkEntry
+	stripes   []stripeEntry
+	provCount []int // chunks+parity currently on each fleet index
+
+	counters opCounters
+	encNonce uint64
+}
+
+// nextEncNonce returns a fresh AES-CTR nonce. Callers hold d.mu.
+func (d *Distributor) nextEncNonce() uint64 {
+	d.encNonce++
+	return d.encNonce
+}
+
+// New validates cfg and builds a Distributor.
+func New(cfg Config) (*Distributor, error) {
+	if cfg.Fleet == nil || cfg.Fleet.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty fleet", ErrConfig)
+	}
+	policy := cfg.ChunkPolicy
+	if len(policy.SizeByLevel) == 0 {
+		policy = privacy.DefaultChunkSizes()
+	}
+	if err := policy.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	defRaid := cfg.DefaultRaid
+	if defRaid == 0 {
+		defRaid = raid.RAID5
+	}
+	if !defRaid.Valid() {
+		return nil, fmt.Errorf("%w: raid level %v", ErrConfig, defRaid)
+	}
+	width := cfg.StripeWidth
+	if width == 0 {
+		width = 4
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("%w: stripe width %d", ErrConfig, width)
+	}
+	par := cfg.Parallelism
+	if par == 0 {
+		par = 4
+	}
+	if par < 1 {
+		return nil, fmt.Errorf("%w: parallelism %d", ErrConfig, par)
+	}
+	vids := cfg.VIDs
+	if vids == nil {
+		secret := cfg.Secret
+		if len(secret) == 0 {
+			secret = []byte("cloud-data-distributor")
+		}
+		vids = NewPRFAllocator(secret)
+	}
+	return &Distributor{
+		fleet:       cfg.Fleet,
+		policy:      policy,
+		defaultRaid: defRaid,
+		stripeWidth: width,
+		vids:        vids,
+		parallelism: par,
+		misleadRNG:  rand.New(rand.NewSource(cfg.MisleadSeed + 1)),
+		clients:     make(map[string]*clientEntry),
+		provCount:   make([]int, cfg.Fleet.Len()),
+	}, nil
+}
+
+// RegisterClient creates a client record. Registering an existing client
+// is an error.
+func (d *Distributor) RegisterClient(name string) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty client name", ErrConfig)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.clients[name]; ok {
+		return fmt.Errorf("%w: client %q already registered", ErrExists, name)
+	}
+	d.clients[name] = &clientEntry{
+		Name:      name,
+		Passwords: make(map[string]privacy.Level),
+		Files:     make(map[string]*fileEntry),
+	}
+	return nil
+}
+
+// hashPassword derives the stored credential: the distributor keeps only
+// SHA-256 digests so a metadata leak (or an over-curious secondary
+// distributor) does not expose client passwords.
+func hashPassword(password string) string {
+	sum := sha256.Sum256([]byte(password))
+	return hex.EncodeToString(sum[:])
+}
+
+// AddPassword associates a ⟨password, PL⟩ pair with a client: the group of
+// users holding this password may access chunks up to that privacy level.
+// Only the password's hash is retained.
+func (d *Distributor) AddPassword(client, password string, pl privacy.Level) error {
+	if password == "" {
+		return fmt.Errorf("%w: empty password", ErrConfig)
+	}
+	if !pl.Valid() {
+		return fmt.Errorf("%w: privacy level %v", ErrConfig, pl)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.clients[client]
+	if !ok {
+		return ErrAuth
+	}
+	h := hashPassword(password)
+	if _, dup := c.Passwords[h]; dup {
+		return fmt.Errorf("%w: password already registered", ErrExists)
+	}
+	c.Passwords[h] = pl
+	return nil
+}
+
+// auth resolves a (client, password) pair to the client entry and the
+// privilege level the password unlocks. Callers hold d.mu.
+func (d *Distributor) auth(client, password string) (*clientEntry, privacy.Level, error) {
+	c, ok := d.clients[client]
+	if !ok {
+		return nil, 0, ErrAuth
+	}
+	pl, ok := c.Passwords[hashPassword(password)]
+	if !ok {
+		return nil, 0, ErrAuth
+	}
+	return c, pl, nil
+}
+
+// authorize additionally enforces privilege ≥ need — the paper's rule "If
+// the privilege level of the password is greater than or equal to the
+// privilege level of the chunk(s)".
+func (d *Distributor) authorize(client, password string, need privacy.Level) (*clientEntry, error) {
+	c, pl, err := d.auth(client, password)
+	if err != nil {
+		return nil, err
+	}
+	if pl < need {
+		return nil, fmt.Errorf("%w: password unlocks %v, chunk requires %v", ErrAuth, pl, need)
+	}
+	return c, nil
+}
+
+// Providers returns the fleet (for inspection in examples and tests).
+func (d *Distributor) Providers() *provider.Fleet { return d.fleet }
+
+// transientRetries bounds retry attempts for injected/transient provider
+// failures.
+const transientRetries = 3
+
+// withTransientRetry retries fn when it fails with the providers'
+// transient-fault error (the failure-injection model); outages and
+// not-found errors surface immediately.
+func (d *Distributor) withTransientRetry(fn func() error) error {
+	var err error
+	for attempt := 0; attempt < transientRetries; attempt++ {
+		err = fn()
+		if err == nil || !errors.Is(err, provider.ErrInjected) {
+			return err
+		}
+		d.counters.transientRetries.Add(1)
+	}
+	return err
+}
+
+// fanOut runs jobs with bounded parallelism and returns the first error.
+func (d *Distributor) fanOut(jobs []func() error) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	sem := make(chan struct{}, d.parallelism)
+	errCh := make(chan error, len(jobs))
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j func() error) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errCh <- j()
+		}(job)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package core
+
+import "sync/atomic"
+
+// OpMetrics counts the distributor's data-path events — the observability
+// a production deployment needs to see how often the resilience machinery
+// (mirrors, RAID reconstruction, retries) actually fires.
+type OpMetrics struct {
+	Uploads          int64
+	FileReads        int64
+	ChunkReads       int64
+	RangeReads       int64
+	Updates          int64
+	Removes          int64
+	PrimaryHits      int64 // payload served by the chunk's own provider
+	MirrorHits       int64 // payload served by a replica
+	Reconstructions  int64 // payload rebuilt from RAID peers
+	TransientRetries int64
+}
+
+// opCounters is the internal atomic representation.
+type opCounters struct {
+	uploads, fileReads, chunkReads, rangeReads, updates, removes atomic.Int64
+	primaryHits, mirrorHits, reconstructions, transientRetries   atomic.Int64
+}
+
+// Metrics returns a snapshot of the distributor's operation counters.
+func (d *Distributor) Metrics() OpMetrics {
+	return OpMetrics{
+		Uploads:          d.counters.uploads.Load(),
+		FileReads:        d.counters.fileReads.Load(),
+		ChunkReads:       d.counters.chunkReads.Load(),
+		RangeReads:       d.counters.rangeReads.Load(),
+		Updates:          d.counters.updates.Load(),
+		Removes:          d.counters.removes.Load(),
+		PrimaryHits:      d.counters.primaryHits.Load(),
+		MirrorHits:       d.counters.mirrorHits.Load(),
+		Reconstructions:  d.counters.reconstructions.Load(),
+		TransientRetries: d.counters.transientRetries.Load(),
+	}
+}

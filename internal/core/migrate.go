@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/privacy"
+)
+
+// DecommissionReport summarizes a provider evacuation.
+type DecommissionReport struct {
+	Provider       string
+	ChunksMoved    int
+	MirrorsMoved   int
+	ParityMoved    int
+	SnapshotsMoved int
+}
+
+// Decommission evacuates every shard (chunks, mirrors, parity, snapshots)
+// from the provider at fleet index provIdx onto other eligible providers —
+// the recovery path for the paper's "cloud provider going out of
+// business" scenario. Payloads are read from the departing provider if it
+// is still up, reconstructed from RAID peers otherwise. The provider
+// remains in the fleet (indices are stable) but holds no data and, since
+// load-based placement sees its count at zero, callers should also mark
+// it down via SetOutage to exclude it from future placement.
+func (d *Distributor) Decommission(provIdx int) (DecommissionReport, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old, err := d.fleet.At(provIdx)
+	if err != nil {
+		return DecommissionReport{}, err
+	}
+	rep := DecommissionReport{Provider: old.Info().Name}
+
+	// Move data chunks (and their mirrors) off the provider.
+	for i := range d.chunks {
+		entry := &d.chunks[i]
+		if entry.CPIndex == provIdx {
+			payload, err := d.fetchPayloadLocked(entry)
+			if err != nil {
+				return rep, fmt.Errorf("core: decommission: chunk %s/%s#%d unreadable: %w",
+					entry.Client, entry.Filename, entry.Serial, err)
+			}
+			newIdx, err := d.relocationTarget(entry, provIdx)
+			if err != nil {
+				return rep, err
+			}
+			np, _ := d.fleet.At(newIdx)
+			if err := d.withTransientRetry(func() error { return np.Put(entry.VirtualID, payload) }); err != nil {
+				return rep, fmt.Errorf("core: decommission: rehoming chunk: %w", err)
+			}
+			_ = d.deleteJob(provIdx, entry.VirtualID)()
+			d.provCount[provIdx]--
+			d.provCount[newIdx]++
+			entry.CPIndex = newIdx
+			rep.ChunksMoved++
+		}
+		for mi := range entry.Mirrors {
+			m := &entry.Mirrors[mi]
+			if m.CPIndex != provIdx || entry.CPIndex < 0 {
+				continue
+			}
+			payload, err := d.fetchPayloadLocked(entry)
+			if err != nil {
+				return rep, fmt.Errorf("core: decommission: mirror source unreadable: %w", err)
+			}
+			newIdx, err := d.relocationTarget(entry, provIdx)
+			if err != nil {
+				return rep, err
+			}
+			np, _ := d.fleet.At(newIdx)
+			if err := d.withTransientRetry(func() error { return np.Put(m.VirtualID, payload) }); err != nil {
+				return rep, fmt.Errorf("core: decommission: rehoming mirror: %w", err)
+			}
+			_ = d.deleteJob(provIdx, m.VirtualID)()
+			d.provCount[provIdx]--
+			d.provCount[newIdx]++
+			m.CPIndex = newIdx
+			rep.MirrorsMoved++
+		}
+		// Snapshots.
+		if entry.SPIndex == provIdx && entry.SnapVID != "" {
+			sp, _ := d.fleet.At(provIdx)
+			snap, err := sp.Get(entry.SnapVID)
+			if err != nil {
+				// The pre-state only exists on the departing provider; if it
+				// is unreadable the snapshot is dropped rather than failing
+				// the whole evacuation.
+				entry.SPIndex = -1
+				entry.SnapVID = ""
+				d.provCount[provIdx]--
+				continue
+			}
+			newIdx, err := d.placeParityExcluding(entry.PL, map[int]bool{provIdx: true, entry.CPIndex: true})
+			if err != nil {
+				return rep, err
+			}
+			np, _ := d.fleet.At(newIdx)
+			if err := d.withTransientRetry(func() error { return np.Put(entry.SnapVID, snap) }); err != nil {
+				return rep, fmt.Errorf("core: decommission: rehoming snapshot: %w", err)
+			}
+			_ = d.deleteJob(provIdx, entry.SnapVID)()
+			d.provCount[provIdx]--
+			d.provCount[newIdx]++
+			entry.SPIndex = newIdx
+			rep.SnapshotsMoved++
+		}
+	}
+
+	// Parity shards: recompute from members (cheaper than reading, and
+	// correct even if the departing provider is already dark).
+	for si := range d.stripes {
+		st := &d.stripes[si]
+		moved := false
+		for pi := range st.Parity {
+			if st.Parity[pi].CPIndex != provIdx {
+				continue
+			}
+			exclude := map[int]bool{provIdx: true}
+			for _, ci := range st.Members {
+				exclude[d.chunks[ci].CPIndex] = true
+			}
+			for pj := range st.Parity {
+				if pj != pi && st.Parity[pj].CPIndex != provIdx {
+					exclude[st.Parity[pj].CPIndex] = true
+				}
+			}
+			pl := d.stripePL(st)
+			newIdx, err := d.placeParityExcluding(pl, exclude)
+			if err != nil {
+				return rep, err
+			}
+			_ = d.deleteJob(provIdx, st.Parity[pi].VirtualID)()
+			d.provCount[provIdx]--
+			d.provCount[newIdx]++
+			st.Parity[pi].CPIndex = newIdx
+			moved = true
+			rep.ParityMoved++
+		}
+		if moved {
+			if err := d.reencodeStripeLocked(st.ID); err != nil {
+				return rep, err
+			}
+		}
+	}
+	return rep, nil
+}
+
+// relocationTarget picks a new home for a chunk off oldIdx, avoiding its
+// stripe-mates and mirrors so the placement invariants survive.
+func (d *Distributor) relocationTarget(entry *chunkEntry, oldIdx int) (int, error) {
+	exclude := map[int]bool{oldIdx: true}
+	st := &d.stripes[entry.StripeID]
+	for _, ci := range st.Members {
+		if d.chunks[ci].CPIndex >= 0 {
+			exclude[d.chunks[ci].CPIndex] = true
+		}
+	}
+	for _, ps := range st.Parity {
+		exclude[ps.CPIndex] = true
+	}
+	for _, m := range entry.Mirrors {
+		exclude[m.CPIndex] = true
+	}
+	idx, err := d.placeParityExcluding(entry.PL, exclude)
+	if err != nil {
+		// Relax: allow sharing with mirrors/parity if the fleet is small,
+		// but never the departing provider itself.
+		idx, err = d.placeParityExcluding(entry.PL, map[int]bool{oldIdx: true})
+	}
+	return idx, err
+}
+
+// stripePL returns the privacy level of a stripe's members (uniform per
+// file by construction); defaults to the highest level for safety when
+// the stripe is empty.
+func (d *Distributor) stripePL(st *stripeEntry) privacy.Level {
+	if len(st.Members) > 0 {
+		return d.chunks[st.Members[0]].PL
+	}
+	return privacy.High
+}
+
+// AuditReport lists provider-resident objects the tables no longer
+// reference — the residue of interrupted removals.
+type AuditReport struct {
+	// Orphans[providerName] lists unreferenced keys found there.
+	Orphans map[string][]string
+	Deleted int
+}
+
+// AuditOrphans scans every provider for keys absent from the distributor's
+// tables and, when gc is true, deletes them. Interrupted removals (e.g. a
+// provider outage mid-RemoveFile) can leave such orphans behind; running
+// the audit after recovery reconciles providers with the tables.
+func (d *Distributor) AuditOrphans(gc bool) (AuditReport, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Build the set of every key the tables reference.
+	referenced := make(map[string]bool)
+	for i := range d.chunks {
+		c := &d.chunks[i]
+		if c.CPIndex < 0 {
+			continue
+		}
+		referenced[c.VirtualID] = true
+		for _, m := range c.Mirrors {
+			referenced[m.VirtualID] = true
+		}
+		if c.SnapVID != "" {
+			referenced[c.SnapVID] = true
+		}
+	}
+	for _, st := range d.stripes {
+		for _, ps := range st.Parity {
+			referenced[ps.VirtualID] = true
+		}
+	}
+
+	rep := AuditReport{Orphans: map[string][]string{}}
+	for i := 0; i < d.fleet.Len(); i++ {
+		p, err := d.fleet.At(i)
+		if err != nil {
+			return rep, err
+		}
+		if p.Down() {
+			continue // unreachable; audit again after recovery
+		}
+		for _, key := range p.Keys() {
+			if referenced[key] {
+				continue
+			}
+			rep.Orphans[p.Info().Name] = append(rep.Orphans[p.Info().Name], key)
+			if gc {
+				if err := p.Delete(key); err == nil {
+					rep.Deleted++
+				}
+			}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/privacy"
+)
+
+// placeShards chooses n distinct providers for one stripe's shards. The
+// policy is the paper's: only providers with privacy level ≥ pl are
+// eligible ("A chunk is given to a provider having equal or higher
+// privacy level compared to the privacy level of the chunk"); among
+// eligible providers, lower cost level wins ("in case of equal privacy
+// level, the one with a lower cost level is given preference"), with the
+// current chunk count as a load-balancing tiebreaker. Callers hold d.mu.
+func (d *Distributor) placeShards(pl privacy.Level, n int) ([]int, error) {
+	eligible := d.fleet.Eligible(pl)
+	if len(eligible) < n {
+		return nil, fmt.Errorf("%w: need %d providers with PL>=%v, have %d",
+			ErrPlacement, n, pl, len(eligible))
+	}
+	sort.SliceStable(eligible, func(a, b int) bool {
+		ia, _ := d.fleet.At(eligible[a])
+		ib, _ := d.fleet.At(eligible[b])
+		if ia.Info().CL != ib.Info().CL {
+			return ia.Info().CL < ib.Info().CL
+		}
+		return d.provCount[eligible[a]] < d.provCount[eligible[b]]
+	})
+	return eligible[:n], nil
+}
+
+// pickSnapshotProvider chooses a provider for a chunk's pre-modification
+// snapshot, distinct from the chunk's current provider. Callers hold d.mu.
+func (d *Distributor) pickSnapshotProvider(pl privacy.Level, exclude int) (int, error) {
+	eligible := d.fleet.Eligible(pl)
+	var best = -1
+	for _, idx := range eligible {
+		if idx == exclude {
+			continue
+		}
+		if best == -1 {
+			best = idx
+			continue
+		}
+		pi, _ := d.fleet.At(idx)
+		pb, _ := d.fleet.At(best)
+		if pi.Info().CL < pb.Info().CL ||
+			(pi.Info().CL == pb.Info().CL && d.provCount[idx] < d.provCount[best]) {
+			best = idx
+		}
+	}
+	if best == -1 {
+		return 0, fmt.Errorf("%w: no snapshot provider with PL>=%v distinct from current", ErrPlacement, pl)
+	}
+	return best, nil
+}
+
+// effectiveWidth computes the number of data shards per stripe for a
+// privacy level and parity count: the configured stripe width, shrunk so
+// every shard of a full stripe lands on a distinct eligible provider.
+func (d *Distributor) effectiveWidth(pl privacy.Level, parity int) (int, error) {
+	eligible := len(d.fleet.Eligible(pl))
+	w := d.stripeWidth
+	if eligible-parity < w {
+		w = eligible - parity
+	}
+	if w < 1 {
+		return 0, fmt.Errorf("%w: %d eligible providers cannot host %d parity shards plus data",
+			ErrPlacement, eligible, parity)
+	}
+	return w, nil
+}

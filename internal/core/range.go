@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+)
+
+// GetRange serves an arbitrary byte range of a file by fetching only the
+// chunks that overlap it — the fragmentation-side win of the paper's
+// §VII-E comparison ("This approach exploits the benefit of parallel
+// query processing as various fragments can be accessed simultaneously"):
+// a point query touches one or two chunks instead of the whole object.
+func (d *Distributor) GetRange(client, password, filename string, offset, length int) ([]byte, error) {
+	if offset < 0 || length < 0 {
+		return nil, fmt.Errorf("%w: range [%d, %d)", ErrConfig, offset, offset+length)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, _, err := d.auth(client, password)
+	if err != nil {
+		return nil, err
+	}
+	fe, ok := c.Files[filename]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchFile, filename)
+	}
+	if _, err := d.authorize(client, password, fe.PL); err != nil {
+		return nil, err
+	}
+	d.counters.rangeReads.Add(1)
+	if length == 0 {
+		return []byte{}, nil
+	}
+
+	// Locate overlapping chunks by walking cumulative original sizes.
+	// Chunk original length = PayloadLen - decoy count (mislead bytes are
+	// not part of the file).
+	type span struct {
+		serial  int
+		idx     int
+		fileOff int // offset of this chunk within the file
+		origLen int
+	}
+	var spans []span
+	cum := 0
+	for serial, idx := range fe.ChunkIdx {
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: serial %d was removed", ErrNoSuchChunk, serial)
+		}
+		entry := &d.chunks[idx]
+		spans = append(spans, span{serial: serial, idx: idx, fileOff: cum, origLen: entry.DataLen})
+		cum += entry.DataLen
+	}
+	if offset+length > cum {
+		return nil, fmt.Errorf("%w: range [%d, %d) beyond file of %d bytes", ErrNoSuchChunk, offset, offset+length, cum)
+	}
+
+	out := make([]byte, 0, length)
+	for _, sp := range spans {
+		if sp.fileOff+sp.origLen <= offset || sp.fileOff >= offset+length {
+			continue
+		}
+		data, err := d.fetchChunkLocked(&d.chunks[sp.idx])
+		if err != nil {
+			return nil, err
+		}
+		lo := 0
+		if offset > sp.fileOff {
+			lo = offset - sp.fileOff
+		}
+		hi := sp.origLen
+		if offset+length < sp.fileOff+sp.origLen {
+			hi = offset + length - sp.fileOff
+		}
+		out = append(out, data[lo:hi]...)
+	}
+	return out, nil
+}
+
+// ScrubReport summarizes an integrity pass.
+type ScrubReport struct {
+	ChunksChecked int
+	Healthy       int
+	Repaired      int
+	Unrepairable  int
+}
+
+// Scrub verifies every stored chunk against its checksum and rewrites any
+// missing, truncated or corrupted shard from its mirrors or RAID peers —
+// the background maintenance a production deployment of the paper's
+// architecture would run against silent provider corruption.
+func (d *Distributor) Scrub() (ScrubReport, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var rep ScrubReport
+	for i := range d.chunks {
+		entry := &d.chunks[i]
+		if entry.CPIndex < 0 {
+			continue // removed
+		}
+		rep.ChunksChecked++
+
+		healthy := false
+		if payload, ok := d.tryGet(entry.CPIndex, entry.VirtualID, entry.PayloadLen); ok {
+			if d.payloadMatches(entry, payload) {
+				healthy = true
+			}
+		}
+		if healthy {
+			// Also verify mirrors; refresh any stale copy.
+			stale := false
+			for _, m := range entry.Mirrors {
+				payload, ok := d.tryGet(m.CPIndex, m.VirtualID, entry.PayloadLen)
+				if !ok || !d.payloadMatches(entry, payload) {
+					stale = true
+				}
+			}
+			if !stale {
+				rep.Healthy++
+				continue
+			}
+		}
+
+		// Rebuild the canonical payload from any healthy source.
+		payload, err := d.healthyPayload(entry)
+		if err != nil {
+			rep.Unrepairable++
+			continue
+		}
+		// Rewrite primary and mirrors.
+		repaired := true
+		if p, e := d.fleet.At(entry.CPIndex); e == nil {
+			if e := d.withTransientRetry(func() error { return p.Put(entry.VirtualID, payload) }); e != nil {
+				repaired = false
+			}
+		}
+		for _, m := range entry.Mirrors {
+			if p, e := d.fleet.At(m.CPIndex); e == nil {
+				if e := d.withTransientRetry(func() error { return p.Put(m.VirtualID, payload) }); e != nil {
+					repaired = false
+				}
+			}
+		}
+		if repaired {
+			rep.Repaired++
+		} else {
+			rep.Unrepairable++
+		}
+	}
+	return rep, nil
+}
+
+// payloadMatches verifies a stored payload against the chunk's checksum
+// (after stripping misleading bytes).
+func (d *Distributor) payloadMatches(entry *chunkEntry, payload []byte) bool {
+	data, err := stripAndVerify(entry, payload)
+	return err == nil && data != nil
+}
+
+// healthyPayload finds a payload copy that passes verification: primary,
+// then mirrors, then RAID reconstruction.
+func (d *Distributor) healthyPayload(entry *chunkEntry) ([]byte, error) {
+	if payload, ok := d.tryGet(entry.CPIndex, entry.VirtualID, entry.PayloadLen); ok && d.payloadMatches(entry, payload) {
+		return payload, nil
+	}
+	for _, m := range entry.Mirrors {
+		if payload, ok := d.tryGet(m.CPIndex, m.VirtualID, entry.PayloadLen); ok && d.payloadMatches(entry, payload) {
+			return payload, nil
+		}
+	}
+	payload, err := d.reconstructLocked(entry)
+	if err != nil {
+		return nil, err
+	}
+	if !d.payloadMatches(entry, payload) {
+		return nil, fmt.Errorf("%w: reconstruction yields corrupt payload", ErrUnavailable)
+	}
+	return payload, nil
+}

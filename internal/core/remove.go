@@ -1,0 +1,243 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/privacy"
+	"repro/internal/provider"
+	"repro/internal/raid"
+)
+
+// RemoveFile deletes a file: every data chunk and parity shard is removed
+// from its provider and the tables are updated — the paper's
+// remove_file(client name, password, filename).
+func (d *Distributor) RemoveFile(client, password, filename string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, _, err := d.auth(client, password)
+	if err != nil {
+		return err
+	}
+	fe, ok := c.Files[filename]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchFile, filename)
+	}
+	if _, err := d.authorize(client, password, fe.PL); err != nil {
+		return err
+	}
+
+	seenStripe := map[int]bool{}
+	var jobs []func() error
+	remaining := 0
+	for _, idx := range fe.ChunkIdx {
+		if idx < 0 {
+			continue
+		}
+		remaining++
+		entry := &d.chunks[idx]
+		jobs = append(jobs, d.deleteJob(entry.CPIndex, entry.VirtualID))
+		for _, m := range entry.Mirrors {
+			jobs = append(jobs, d.deleteJob(m.CPIndex, m.VirtualID))
+		}
+		if entry.SnapVID != "" && entry.SPIndex >= 0 {
+			jobs = append(jobs, d.deleteJob(entry.SPIndex, entry.SnapVID))
+		}
+		if !seenStripe[entry.StripeID] {
+			seenStripe[entry.StripeID] = true
+			st := &d.stripes[entry.StripeID]
+			for _, ps := range st.Parity {
+				jobs = append(jobs, d.deleteJob(ps.CPIndex, ps.VirtualID))
+			}
+		}
+	}
+	if err := d.fanOut(jobs); err != nil {
+		return fmt.Errorf("core: remove incomplete: %w", err)
+	}
+
+	// Update accounting and tables.
+	for _, idx := range fe.ChunkIdx {
+		if idx < 0 {
+			continue
+		}
+		entry := &d.chunks[idx]
+		d.provCount[entry.CPIndex]--
+		for _, m := range entry.Mirrors {
+			d.provCount[m.CPIndex]--
+		}
+		if entry.SnapVID != "" && entry.SPIndex >= 0 {
+			d.provCount[entry.SPIndex]--
+		}
+		entry.CPIndex = -1
+		entry.SnapVID = ""
+		entry.SPIndex = -1
+		entry.Mirrors = nil
+	}
+	for sid := range seenStripe {
+		st := &d.stripes[sid]
+		for _, ps := range st.Parity {
+			d.provCount[ps.CPIndex]--
+		}
+		st.Parity = nil
+		st.Members = nil
+	}
+	c.Count -= remaining
+	delete(c.Files, filename)
+	d.counters.removes.Add(1)
+	return nil
+}
+
+// RemoveChunk deletes one chunk — the paper's remove_chunk(client name,
+// password, filename, sl no.). The chunk's stripe parity is re-encoded
+// over the surviving members so RAID recovery keeps working for them.
+func (d *Distributor) RemoveChunk(client, password, filename string, serial int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entry, err := d.lookupChunk(client, password, filename, serial)
+	if err != nil {
+		return err
+	}
+	c := d.clients[client]
+	fe := c.Files[filename]
+
+	st := &d.stripes[entry.StripeID]
+
+	// Gather surviving member payloads (reconstruct any unreachable one
+	// while the full stripe still exists).
+	type survivor struct {
+		chunkIdx int
+		payload  []byte
+	}
+	var survivors []survivor
+	for _, cidx := range st.Members {
+		m := &d.chunks[cidx]
+		if m.VirtualID == entry.VirtualID {
+			continue
+		}
+		payload, err := d.fetchPayloadLocked(m)
+		if err != nil {
+			return fmt.Errorf("core: cannot preserve stripe member %s#%d during removal: %w", m.Filename, m.Serial, err)
+		}
+		survivors = append(survivors, survivor{chunkIdx: cidx, payload: payload})
+	}
+
+	// Delete the chunk, its mirrors, its snapshot, and stale parity.
+	var jobs []func() error
+	jobs = append(jobs, d.deleteJob(entry.CPIndex, entry.VirtualID))
+	for _, m := range entry.Mirrors {
+		jobs = append(jobs, d.deleteJob(m.CPIndex, m.VirtualID))
+	}
+	if entry.SnapVID != "" && entry.SPIndex >= 0 {
+		jobs = append(jobs, d.deleteJob(entry.SPIndex, entry.SnapVID))
+	}
+	oldParity := st.Parity
+	for _, ps := range oldParity {
+		jobs = append(jobs, d.deleteJob(ps.CPIndex, ps.VirtualID))
+	}
+	if err := d.fanOut(jobs); err != nil {
+		return fmt.Errorf("core: remove incomplete: %w", err)
+	}
+	d.provCount[entry.CPIndex]--
+	for _, m := range entry.Mirrors {
+		d.provCount[m.CPIndex]--
+	}
+	if entry.SnapVID != "" && entry.SPIndex >= 0 {
+		d.provCount[entry.SPIndex]--
+	}
+	for _, ps := range oldParity {
+		d.provCount[ps.CPIndex]--
+	}
+	st.Parity = nil
+
+	// Rebuild stripe membership and parity over the survivors.
+	newMembers := make([]int, 0, len(survivors))
+	shardLen := 1
+	for _, s := range survivors {
+		newMembers = append(newMembers, s.chunkIdx)
+		if len(s.payload) > shardLen {
+			shardLen = len(s.payload)
+		}
+	}
+	st.Members = newMembers
+	st.ShardLen = shardLen
+	if len(survivors) > 0 && st.Level.ParityShards() > 0 {
+		padded := make([][]byte, len(survivors))
+		for i, s := range survivors {
+			pad := make([]byte, shardLen)
+			copy(pad, s.payload)
+			padded[i] = pad
+		}
+		stripe, err := raid.Encode(st.Level, padded)
+		if err != nil {
+			return fmt.Errorf("core: re-encoding stripe after removal: %w", err)
+		}
+		exclude := map[int]bool{}
+		for _, s := range survivors {
+			exclude[d.chunks[s.chunkIdx].CPIndex] = true
+		}
+		for pi := 0; pi < st.Level.ParityShards(); pi++ {
+			provIdx, err := d.placeParityExcluding(entry.PL, exclude)
+			if err != nil {
+				return err
+			}
+			exclude[provIdx] = true
+			vid := d.vids.Next()
+			p, _ := d.fleet.At(provIdx)
+			if err := p.Put(vid, stripe.Shards[len(survivors)+pi]); err != nil {
+				return fmt.Errorf("core: writing re-encoded parity: %w", err)
+			}
+			st.Parity = append(st.Parity, parityShard{VirtualID: vid, CPIndex: provIdx})
+			d.provCount[provIdx]++
+		}
+	}
+
+	// Tombstone the chunk.
+	entry.CPIndex = -1
+	entry.SPIndex = -1
+	entry.SnapVID = ""
+	entry.Mirrors = nil
+	fe.ChunkIdx[serial] = -1
+	c.Count--
+	d.counters.removes.Add(1)
+	return nil
+}
+
+// placeParityExcluding picks one eligible provider not in the exclusion
+// set, preferring lower cost then lower load. Callers hold d.mu.
+func (d *Distributor) placeParityExcluding(pl privacy.Level, exclude map[int]bool) (int, error) {
+	best := -1
+	for _, idx := range d.fleet.Eligible(pl) {
+		if exclude[idx] {
+			continue
+		}
+		if best == -1 {
+			best = idx
+			continue
+		}
+		pi, _ := d.fleet.At(idx)
+		pb, _ := d.fleet.At(best)
+		if pi.Info().CL < pb.Info().CL ||
+			(pi.Info().CL == pb.Info().CL && d.provCount[idx] < d.provCount[best]) {
+			best = idx
+		}
+	}
+	if best == -1 {
+		return 0, fmt.Errorf("%w: no provider for re-encoded parity", ErrPlacement)
+	}
+	return best, nil
+}
+
+// deleteJob builds a fan-out job removing one key from one provider;
+// missing keys are tolerated so removals are idempotent.
+func (d *Distributor) deleteJob(provIdx int, vid string) func() error {
+	return func() error {
+		p, err := d.fleet.At(provIdx)
+		if err != nil {
+			return err
+		}
+		if err := p.Delete(vid); err != nil && !errors.Is(err, provider.ErrNotFound) {
+			return err
+		}
+		return nil
+	}
+}

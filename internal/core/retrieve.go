@@ -1,0 +1,244 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/cryptofrag"
+	"repro/internal/mislead"
+	"repro/internal/raid"
+)
+
+// GetChunk serves one chunk to a client holding a sufficiently privileged
+// password — the paper's get_chunk(client name, password, filename,
+// sl no.). If the chunk's provider is unreachable the distributor
+// transparently reconstructs the chunk from the stripe's surviving shards.
+func (d *Distributor) GetChunk(client, password, filename string, serial int) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entry, err := d.lookupChunk(client, password, filename, serial)
+	if err != nil {
+		return nil, err
+	}
+	d.counters.chunkReads.Add(1)
+	return d.fetchChunkLocked(entry)
+}
+
+// GetFile serves a whole file — the paper's get_file(client name,
+// password, filename). Chunks are fetched with bounded parallelism
+// ("This approach exploits the benefit of parallel query processing as
+// various fragments can be accessed simultaneously").
+func (d *Distributor) GetFile(client, password, filename string) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, _, err := d.auth(client, password)
+	if err != nil {
+		return nil, err
+	}
+	fe, ok := c.Files[filename]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchFile, filename)
+	}
+	if _, err := d.authorize(client, password, fe.PL); err != nil {
+		return nil, err
+	}
+	parts := make([][]byte, len(fe.ChunkIdx))
+	jobs := make([]func() error, 0, len(fe.ChunkIdx))
+	for serial, idx := range fe.ChunkIdx {
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: serial %d was removed", ErrNoSuchChunk, serial)
+		}
+		serial, idx := serial, idx
+		entry := &d.chunks[idx]
+		jobs = append(jobs, func() error {
+			data, err := d.fetchChunkLocked(entry)
+			if err != nil {
+				return err
+			}
+			parts[serial] = data
+			return nil
+		})
+	}
+	if err := d.fanOut(jobs); err != nil {
+		return nil, err
+	}
+	d.counters.fileReads.Add(1)
+	return bytes.Join(parts, nil), nil
+}
+
+// ChunkCount reports how many chunks a file has (what the distributor
+// "notifies" the client of).
+func (d *Distributor) ChunkCount(client, password, filename string) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, _, err := d.auth(client, password)
+	if err != nil {
+		return 0, err
+	}
+	fe, ok := c.Files[filename]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchFile, filename)
+	}
+	return len(fe.ChunkIdx), nil
+}
+
+// lookupChunk authenticates and resolves (client, filename, serial) to a
+// chunk entry, enforcing password privilege against the chunk's privacy
+// level. Callers hold d.mu.
+func (d *Distributor) lookupChunk(client, password, filename string, serial int) (*chunkEntry, error) {
+	c, _, err := d.auth(client, password)
+	if err != nil {
+		return nil, err
+	}
+	fe, ok := c.Files[filename]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchFile, filename)
+	}
+	if serial < 0 || serial >= len(fe.ChunkIdx) {
+		return nil, fmt.Errorf("%w: serial %d of %s (file has %d chunks)", ErrNoSuchChunk, serial, filename, len(fe.ChunkIdx))
+	}
+	idx := fe.ChunkIdx[serial]
+	if idx < 0 {
+		return nil, fmt.Errorf("%w: serial %d was removed", ErrNoSuchChunk, serial)
+	}
+	entry := &d.chunks[idx]
+	if _, err := d.authorize(client, password, entry.PL); err != nil {
+		return nil, err
+	}
+	return entry, nil
+}
+
+// fetchChunkLocked retrieves a chunk's original bytes: provider get (or
+// RAID reconstruction), mislead stripping, checksum verification.
+func (d *Distributor) fetchChunkLocked(entry *chunkEntry) ([]byte, error) {
+	payload, err := d.fetchPayloadLocked(entry)
+	if err != nil {
+		return nil, err
+	}
+	return stripAndVerify(entry, payload)
+}
+
+// stripAndVerify recovers a chunk's original bytes from its stored
+// payload — decrypting (for encrypted files) or stripping misleading
+// bytes — and checks the result against the chunk's checksum.
+func stripAndVerify(entry *chunkEntry, payload []byte) ([]byte, error) {
+	var data []byte
+	var err error
+	if entry.EncKey != nil {
+		data, err = cryptofrag.Decrypt(entry.EncKey, payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: decrypting chunk: %v", ErrUnavailable, err)
+		}
+	} else {
+		data, err = mislead.Strip(payload, entry.Mislead)
+		if err != nil {
+			return nil, fmt.Errorf("core: stripping misleading bytes: %w", err)
+		}
+	}
+	if sha256.Sum256(data) != entry.Sum {
+		return nil, fmt.Errorf("%w: checksum mismatch for %s/%s#%d", ErrUnavailable, entry.Client, entry.Filename, entry.Serial)
+	}
+	return data, nil
+}
+
+// fetchPayloadLocked returns the stored payload (post-mislead bytes). The
+// fallback ladder is: primary provider → mirror replicas → RAID
+// reconstruction from the stripe.
+func (d *Distributor) fetchPayloadLocked(entry *chunkEntry) ([]byte, error) {
+	if payload, ok := d.tryGet(entry.CPIndex, entry.VirtualID, entry.PayloadLen); ok {
+		d.counters.primaryHits.Add(1)
+		return payload, nil
+	}
+	for _, m := range entry.Mirrors {
+		if payload, ok := d.tryGet(m.CPIndex, m.VirtualID, entry.PayloadLen); ok {
+			d.counters.mirrorHits.Add(1)
+			return payload, nil
+		}
+	}
+	payload, err := d.reconstructLocked(entry)
+	if err == nil {
+		d.counters.reconstructions.Add(1)
+	}
+	return payload, err
+}
+
+// tryGet fetches one blob with transient-failure retry; a wrong length
+// (provider-side truncation) counts as failure.
+func (d *Distributor) tryGet(provIdx int, vid string, wantLen int) ([]byte, bool) {
+	p, err := d.fleet.At(provIdx)
+	if err != nil {
+		return nil, false
+	}
+	var payload []byte
+	err = d.withTransientRetry(func() error {
+		var e error
+		payload, e = p.Get(vid)
+		return e
+	})
+	if err != nil || len(payload) != wantLen {
+		return nil, false
+	}
+	return payload, true
+}
+
+// reconstructLocked rebuilds one chunk from the surviving members of its
+// stripe.
+func (d *Distributor) reconstructLocked(entry *chunkEntry) ([]byte, error) {
+	st := &d.stripes[entry.StripeID]
+	if st.Level.ParityShards() == 0 {
+		return nil, fmt.Errorf("%w: provider down and no parity (raid level none)", ErrUnavailable)
+	}
+	shards := make([][]byte, len(st.Members)+len(st.Parity))
+	targetSlot := -1
+	for i, cidx := range st.Members {
+		m := &d.chunks[cidx]
+		if m.VirtualID == entry.VirtualID {
+			targetSlot = i
+			continue // the shard we're rebuilding
+		}
+		payload, err := d.rawShard(m.CPIndex, m.VirtualID, st.ShardLen, m.PayloadLen)
+		if err != nil {
+			continue // surviving-shard fetch failed; leave nil for decoder
+		}
+		shards[i] = payload
+	}
+	if targetSlot == -1 {
+		return nil, fmt.Errorf("%w: chunk not a member of its stripe", ErrUnavailable)
+	}
+	for i, ps := range st.Parity {
+		payload, err := d.rawShard(ps.CPIndex, ps.VirtualID, st.ShardLen, st.ShardLen)
+		if err != nil {
+			continue
+		}
+		shards[len(st.Members)+i] = payload
+	}
+	stripe := &raid.Stripe{Level: st.Level, Shards: shards, DataShards: len(st.Members)}
+	if err := stripe.Reconstruct(); err != nil {
+		return nil, fmt.Errorf("%w: reconstruction failed: %v", ErrUnavailable, err)
+	}
+	rebuilt := stripe.Shards[targetSlot]
+	if len(rebuilt) < entry.PayloadLen {
+		return nil, fmt.Errorf("%w: rebuilt shard shorter than payload", ErrUnavailable)
+	}
+	return rebuilt[:entry.PayloadLen], nil
+}
+
+// rawShard fetches one shard and zero-pads it to the stripe's shard
+// length so parity math lines up.
+func (d *Distributor) rawShard(provIdx int, vid string, shardLen, payloadLen int) ([]byte, error) {
+	p, err := d.fleet.At(provIdx)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := p.Get(vid)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) != payloadLen {
+		return nil, fmt.Errorf("%w: shard length %d, want %d", ErrUnavailable, len(payload), payloadLen)
+	}
+	out := make([]byte, shardLen)
+	copy(out, payload)
+	return out, nil
+}

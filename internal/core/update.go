@@ -1,0 +1,225 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/cryptofrag"
+	"repro/internal/mislead"
+	"repro/internal/raid"
+)
+
+// UpdateChunk replaces one chunk's contents. Before the modification the
+// chunk's previous state is copied to a snapshot provider: "snapshot
+// provider stores the pre-state and cloud provider stores the post-state
+// of a chunk after each modification" (paper §IV-A, Chunk Table).
+// The stripe's parity is re-encoded over the new contents.
+func (d *Distributor) UpdateChunk(client, password, filename string, serial int, newData []byte, opts UploadOptions) error {
+	if opts.MisleadFraction < 0 || opts.MisleadFraction >= 1 {
+		return fmt.Errorf("%w: mislead fraction %v outside [0,1)", ErrConfig, opts.MisleadFraction)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entry, err := d.lookupChunk(client, password, filename, serial)
+	if err != nil {
+		return err
+	}
+
+	// Capture the pre-state payload (reconstructing if necessary).
+	oldPayload, err := d.fetchPayloadLocked(entry)
+	if err != nil {
+		return fmt.Errorf("core: reading pre-state: %w", err)
+	}
+
+	// Prefetch every sibling member of the stripe NOW, while parity is
+	// still consistent with the members. Reading them after the post-state
+	// write would let an unreachable sibling be "reconstructed" through
+	// stale parity — silent corruption. If a sibling is unreadable even
+	// through RAID, the update fails before mutating anything.
+	st := &d.stripes[entry.StripeID]
+	siblings := make(map[int][]byte, len(st.Members))
+	if st.Level.ParityShards() > 0 {
+		for _, cidx := range st.Members {
+			m := &d.chunks[cidx]
+			if m.VirtualID == entry.VirtualID {
+				continue
+			}
+			sib, err := d.fetchPayloadLocked(m)
+			if err != nil {
+				return fmt.Errorf("core: reading stripe sibling %s#%d before update: %w", m.Filename, m.Serial, err)
+			}
+			siblings[cidx] = sib
+		}
+	}
+
+	// Store the snapshot on a provider distinct from the current one.
+	spIdx, err := d.pickSnapshotProvider(entry.PL, entry.CPIndex)
+	if err != nil {
+		return err
+	}
+	snapVID := d.vids.Next()
+	sp, _ := d.fleet.At(spIdx)
+	if err := sp.Put(snapVID, oldPayload); err != nil {
+		return fmt.Errorf("core: writing snapshot: %w", err)
+	}
+	// Retire any previous snapshot.
+	if entry.SnapVID != "" && entry.SPIndex >= 0 {
+		if old, e := d.fleet.At(entry.SPIndex); e == nil {
+			_ = old.Delete(entry.SnapVID)
+		}
+		d.provCount[entry.SPIndex]--
+	}
+	entry.SPIndex = spIdx
+	entry.SnapVID = snapVID
+	d.provCount[spIdx]++
+
+	// Build the new payload: encrypted files stay encrypted; otherwise a
+	// fresh mislead injection if requested.
+	payload := newData
+	var inj mislead.Injection
+	switch {
+	case entry.EncKey != nil:
+		if opts.MisleadFraction > 0 || len(opts.MisleadLines) > 0 {
+			return fmt.Errorf("%w: misleading data and encryption are mutually exclusive", ErrConfig)
+		}
+		payload, err = cryptofrag.Encrypt(entry.EncKey, newData, d.nextEncNonce())
+	case len(opts.MisleadLines) > 0:
+		payload, inj, err = mislead.InjectLines(newData, opts.MisleadLines, d.misleadRNG)
+	case opts.MisleadFraction > 0:
+		payload, inj, err = mislead.Inject(newData, opts.MisleadFraction, d.misleadRNG)
+	default:
+		cp := make([]byte, len(newData))
+		copy(cp, newData)
+		payload = cp
+	}
+	if err != nil {
+		return err
+	}
+
+	// Write the post-state, to the primary and to every mirror.
+	p, _ := d.fleet.At(entry.CPIndex)
+	if err := p.Put(entry.VirtualID, payload); err != nil {
+		return fmt.Errorf("core: writing post-state: %w", err)
+	}
+	for _, m := range entry.Mirrors {
+		mp, err := d.fleet.At(m.CPIndex)
+		if err != nil {
+			return err
+		}
+		if err := mp.Put(m.VirtualID, payload); err != nil {
+			return fmt.Errorf("core: writing post-state mirror: %w", err)
+		}
+	}
+	entry.Mislead = inj
+	entry.PayloadLen = len(payload)
+	entry.DataLen = len(newData)
+	entry.Sum = sha256.Sum256(newData)
+	d.counters.updates.Add(1)
+
+	// Re-encode parity from the prefetched siblings plus the new payload —
+	// never re-reading members through a now-inconsistent stripe.
+	if st.Level.ParityShards() == 0 || len(st.Members) == 0 {
+		return nil
+	}
+	shardLen := 1
+	payloads := make([][]byte, len(st.Members))
+	for i, cidx := range st.Members {
+		var pv []byte
+		if cidx == chunkIndexOf(d, entry) {
+			pv = payload
+		} else {
+			pv = siblings[cidx]
+		}
+		payloads[i] = pv
+		if len(pv) > shardLen {
+			shardLen = len(pv)
+		}
+	}
+	st.ShardLen = shardLen
+	return d.writeParityLocked(st, payloads)
+}
+
+// chunkIndexOf finds a chunk entry's index in the chunk table; entries are
+// stored by value in d.chunks, so pointer arithmetic identifies the slot.
+func chunkIndexOf(d *Distributor, entry *chunkEntry) int {
+	for i := range d.chunks {
+		if &d.chunks[i] == entry {
+			return i
+		}
+	}
+	return -1
+}
+
+// writeParityLocked pads member payloads to the stripe's shard length,
+// encodes parity and writes each parity shard to its provider.
+func (d *Distributor) writeParityLocked(st *stripeEntry, payloads [][]byte) error {
+	padded := make([][]byte, len(payloads))
+	for i, p := range payloads {
+		pad := make([]byte, st.ShardLen)
+		copy(pad, p)
+		padded[i] = pad
+	}
+	stripe, err := raid.Encode(st.Level, padded)
+	if err != nil {
+		return fmt.Errorf("core: re-encode: %w", err)
+	}
+	for pi, ps := range st.Parity {
+		p, err := d.fleet.At(ps.CPIndex)
+		if err != nil {
+			return err
+		}
+		if err := d.withTransientRetry(func() error { return p.Put(ps.VirtualID, stripe.Shards[len(payloads)+pi]) }); err != nil {
+			return fmt.Errorf("core: rewriting parity: %w", err)
+		}
+	}
+	return nil
+}
+
+// GetSnapshot returns a chunk's pre-modification contents. Misleading
+// bytes of the snapshot generation cannot be stripped (the paper's Chunk
+// Table keeps only the current M set), so snapshots are only offered for
+// chunks that had no injection at snapshot time — the distributor rejects
+// the request otherwise.
+func (d *Distributor) GetSnapshot(client, password, filename string, serial int) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entry, err := d.lookupChunk(client, password, filename, serial)
+	if err != nil {
+		return nil, err
+	}
+	if entry.SnapVID == "" || entry.SPIndex < 0 {
+		return nil, fmt.Errorf("%w: %s#%d", ErrNoSnapshot, filename, serial)
+	}
+	sp, err := d.fleet.At(entry.SPIndex)
+	if err != nil {
+		return nil, err
+	}
+	return sp.Get(entry.SnapVID)
+}
+
+// reencodeStripeLocked recomputes and rewrites a stripe's parity shards by
+// re-reading every member. Only safe when members and parity are mutually
+// consistent (e.g. after relocating a parity shard) — callers that just
+// rewrote a member must use writeParityLocked with prefetched payloads
+// instead.
+func (d *Distributor) reencodeStripeLocked(stripeID int) error {
+	st := &d.stripes[stripeID]
+	if st.Level.ParityShards() == 0 || len(st.Members) == 0 {
+		return nil
+	}
+	shardLen := 1
+	payloads := make([][]byte, len(st.Members))
+	for i, cidx := range st.Members {
+		m := &d.chunks[cidx]
+		payload, err := d.fetchPayloadLocked(m)
+		if err != nil {
+			return fmt.Errorf("core: re-encode: reading member %d: %w", i, err)
+		}
+		payloads[i] = payload
+		if len(payload) > shardLen {
+			shardLen = len(payload)
+		}
+	}
+	st.ShardLen = shardLen
+	return d.writeParityLocked(st, payloads)
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chunker"
+	"repro/internal/cryptofrag"
+	"repro/internal/mislead"
+	"repro/internal/privacy"
+	"repro/internal/raid"
+)
+
+// Upload receives a file from a client, fragments it according to the
+// file's privacy level, optionally injects misleading bytes, stripes the
+// chunks with RAID parity and scatters everything over the provider
+// fleet. It returns the chunk count the client later uses to request
+// chunks by (filename, serial).
+func (d *Distributor) Upload(client, password, filename string, data []byte, pl privacy.Level, opts UploadOptions) (FileInfo, error) {
+	if filename == "" {
+		return FileInfo{}, fmt.Errorf("%w: empty filename", ErrConfig)
+	}
+	if !pl.Valid() {
+		return FileInfo{}, fmt.Errorf("%w: privacy level %v", ErrConfig, pl)
+	}
+	if opts.MisleadFraction < 0 || opts.MisleadFraction >= 1 {
+		return FileInfo{}, fmt.Errorf("%w: mislead fraction %v outside [0,1)", ErrConfig, opts.MisleadFraction)
+	}
+	if opts.Replicas < 0 {
+		return FileInfo{}, fmt.Errorf("%w: replicas %d", ErrConfig, opts.Replicas)
+	}
+	if len(opts.EncryptKey) > 0 {
+		switch len(opts.EncryptKey) {
+		case 16, 24, 32:
+		default:
+			return FileInfo{}, fmt.Errorf("%w: encryption key must be 16, 24 or 32 bytes", ErrConfig)
+		}
+		if opts.MisleadFraction > 0 || len(opts.MisleadLines) > 0 {
+			return FileInfo{}, fmt.Errorf("%w: misleading data and encryption are mutually exclusive", ErrConfig)
+		}
+	}
+	level := opts.Assurance
+	if level == 0 {
+		level = d.defaultRaid
+	}
+	if opts.NoParity {
+		level = raid.None
+	}
+	if !level.Valid() {
+		return FileInfo{}, fmt.Errorf("%w: raid level %v", ErrConfig, level)
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	c, err := d.authorize(client, password, pl)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	if _, dup := c.Files[filename]; dup {
+		return FileInfo{}, fmt.Errorf("%w: %s", ErrExists, filename)
+	}
+
+	chunks, err := chunker.Split(data, pl, d.policy)
+	if err != nil {
+		return FileInfo{}, err
+	}
+
+	// Prepare payloads (with optional misleading data) per chunk.
+	type prepared struct {
+		payload []byte
+		inj     mislead.Injection
+		sum     [32]byte
+		dataLen int
+	}
+	var encKey []byte
+	if len(opts.EncryptKey) > 0 {
+		encKey = append([]byte(nil), opts.EncryptKey...)
+	}
+	prep := make([]prepared, len(chunks))
+	for i, ch := range chunks {
+		payload := ch.Data
+		var inj mislead.Injection
+		switch {
+		case encKey != nil:
+			payload, err = cryptofrag.Encrypt(encKey, ch.Data, d.nextEncNonce())
+		case len(opts.MisleadLines) > 0:
+			payload, inj, err = mislead.InjectLines(ch.Data, opts.MisleadLines, d.misleadRNG)
+		case opts.MisleadFraction > 0:
+			payload, inj, err = mislead.Inject(ch.Data, opts.MisleadFraction, d.misleadRNG)
+		}
+		if err != nil {
+			return FileInfo{}, err
+		}
+		prep[i] = prepared{payload: payload, inj: inj, sum: ch.Sum, dataLen: len(ch.Data)}
+	}
+
+	parity := level.ParityShards()
+	width, err := d.effectiveWidth(pl, parity)
+	if err != nil {
+		return FileInfo{}, err
+	}
+
+	fe := &fileEntry{Filename: filename, PL: pl, Raid: level, ChunkIdx: make([]int, len(chunks))}
+
+	// Stage everything; only commit tables and counts after all provider
+	// puts succeed.
+	type putJob struct {
+		provIdx int
+		vid     string
+		payload []byte
+	}
+	var jobs []putJob
+	newChunks := make([]chunkEntry, 0, len(chunks))
+	newStripes := make([]stripeEntry, 0, (len(chunks)+width-1)/width)
+	baseChunkIdx := len(d.chunks)
+	baseStripeIdx := len(d.stripes)
+	countDelta := make([]int, d.fleet.Len())
+
+	for start := 0; start < len(prep); start += width {
+		end := start + width
+		if end > len(prep) {
+			end = len(prep)
+		}
+		group := prep[start:end]
+		shardLen := 0
+		for _, p := range group {
+			if len(p.payload) > shardLen {
+				shardLen = len(p.payload)
+			}
+		}
+		if shardLen == 0 {
+			shardLen = 1 // parity over empty chunks still needs one byte
+		}
+		nShards := len(group) + parity
+		placement, err := d.placeShardsWithDelta(pl, nShards, countDelta)
+		if err != nil {
+			return FileInfo{}, err
+		}
+
+		st := stripeEntry{ID: baseStripeIdx + len(newStripes), Level: level, ShardLen: shardLen}
+		padded := make([][]byte, len(group))
+		for gi, p := range group {
+			serial := start + gi
+			vid := d.vids.Next()
+			provIdx := placement[gi]
+			ce := chunkEntry{
+				VirtualID:  vid,
+				PL:         pl,
+				CPIndex:    provIdx,
+				SPIndex:    -1,
+				Mislead:    p.inj,
+				Client:     client,
+				Filename:   filename,
+				Serial:     serial,
+				PayloadLen: len(p.payload),
+				DataLen:    p.dataLen,
+				Sum:        p.sum,
+				EncKey:     encKey,
+				StripeID:   st.ID,
+			}
+			// Mirrors: extra full copies on providers distinct from the
+			// chunk's own and from each other.
+			exclude := map[int]bool{provIdx: true}
+			for r := 0; r < opts.Replicas; r++ {
+				mIdx, err := d.placeExcludingWithDelta(pl, exclude, countDelta)
+				if err != nil {
+					return FileInfo{}, fmt.Errorf("placing replica %d of chunk %d: %w", r+1, serial, err)
+				}
+				exclude[mIdx] = true
+				mvid := d.vids.Next()
+				ce.Mirrors = append(ce.Mirrors, mirrorRef{VirtualID: mvid, CPIndex: mIdx})
+				jobs = append(jobs, putJob{provIdx: mIdx, vid: mvid, payload: p.payload})
+				countDelta[mIdx]++
+			}
+
+			idx := baseChunkIdx + len(newChunks)
+			newChunks = append(newChunks, ce)
+			fe.ChunkIdx[serial] = idx
+			st.Members = append(st.Members, idx)
+			jobs = append(jobs, putJob{provIdx: provIdx, vid: vid, payload: p.payload})
+			countDelta[provIdx]++
+
+			pad := make([]byte, shardLen)
+			copy(pad, p.payload)
+			padded[gi] = pad
+		}
+		if parity > 0 {
+			stripe, err := raid.Encode(level, padded)
+			if err != nil {
+				return FileInfo{}, err
+			}
+			for pi := 0; pi < parity; pi++ {
+				vid := d.vids.Next()
+				provIdx := placement[len(group)+pi]
+				st.Parity = append(st.Parity, parityShard{VirtualID: vid, CPIndex: provIdx})
+				jobs = append(jobs, putJob{provIdx: provIdx, vid: vid, payload: stripe.Shards[len(group)+pi]})
+				countDelta[provIdx]++
+			}
+		}
+		newStripes = append(newStripes, st)
+	}
+
+	// Ship all shards to providers with bounded fan-out.
+	fns := make([]func() error, len(jobs))
+	for i, j := range jobs {
+		j := j
+		fns[i] = func() error {
+			p, err := d.fleet.At(j.provIdx)
+			if err != nil {
+				return err
+			}
+			return d.withTransientRetry(func() error { return p.Put(j.vid, j.payload) })
+		}
+	}
+	if err := d.fanOut(fns); err != nil {
+		// Roll back anything already stored so a failed upload leaves no
+		// orphan shards.
+		for _, j := range jobs {
+			if p, e := d.fleet.At(j.provIdx); e == nil {
+				_ = p.Delete(j.vid)
+			}
+		}
+		return FileInfo{}, fmt.Errorf("core: upload aborted: %w", err)
+	}
+
+	// Commit.
+	d.chunks = append(d.chunks, newChunks...)
+	d.stripes = append(d.stripes, newStripes...)
+	for i, delta := range countDelta {
+		d.provCount[i] += delta
+	}
+	c.Files[filename] = fe
+	c.Count += len(chunks)
+	d.counters.uploads.Add(1)
+
+	return FileInfo{Filename: filename, PL: pl, Chunks: len(chunks), Raid: level, Bytes: len(data)}, nil
+}
+
+// placeShardsWithDelta is placeShards that also accounts for shard counts
+// staged by the current request but not yet committed, so multi-stripe
+// uploads spread load correctly.
+func (d *Distributor) placeShardsWithDelta(pl privacy.Level, n int, delta []int) ([]int, error) {
+	for i, v := range delta {
+		d.provCount[i] += v
+	}
+	placement, err := d.placeShards(pl, n)
+	for i, v := range delta {
+		d.provCount[i] -= v
+	}
+	return placement, err
+}
+
+// placeExcludingWithDelta is placeParityExcluding with staged counts.
+func (d *Distributor) placeExcludingWithDelta(pl privacy.Level, exclude map[int]bool, delta []int) (int, error) {
+	for i, v := range delta {
+		d.provCount[i] += v
+	}
+	idx, err := d.placeParityExcluding(pl, exclude)
+	for i, v := range delta {
+		d.provCount[i] -= v
+	}
+	return idx, err
+}

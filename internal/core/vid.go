@@ -1,0 +1,67 @@
+package core
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// VIDAllocator produces virtual chunk ids. "Inside the Cloud Data
+// Distributor each chunk is given a unique virtual id and this id is used
+// to identify the chunk within the Cloud Data Distributor and Cloud
+// Providers. This virtualization conceals the identity of a client from
+// the provider."
+type VIDAllocator interface {
+	// Next returns a fresh id, never repeating within one distributor.
+	Next() string
+}
+
+// prfAllocator derives ids as HMAC-SHA256(secret, counter): unlinkable to
+// clients and files without the distributor's secret, yet deterministic
+// for a given secret so tests are reproducible.
+type prfAllocator struct {
+	secret []byte
+	ctr    uint64
+}
+
+// NewPRFAllocator builds the default allocator from a secret key.
+func NewPRFAllocator(secret []byte) VIDAllocator {
+	cp := make([]byte, len(secret))
+	copy(cp, secret)
+	return &prfAllocator{secret: cp}
+}
+
+func (a *prfAllocator) Next() string {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], a.ctr)
+	a.ctr++
+	mac := hmac.New(sha256.New, a.secret)
+	mac.Write(buf[:])
+	return hex.EncodeToString(mac.Sum(nil)[:8])
+}
+
+// ScriptedAllocator hands out a fixed sequence of ids, then falls back to
+// a PRF allocator. It exists so the Figure 3 walkthrough can reproduce the
+// exact virtual ids printed in the paper (10986, 13239, ...).
+type ScriptedAllocator struct {
+	Sequence []string
+	pos      int
+	fallback VIDAllocator
+}
+
+// NewScriptedAllocator returns an allocator that first yields seq in
+// order.
+func NewScriptedAllocator(seq []string) *ScriptedAllocator {
+	return &ScriptedAllocator{Sequence: seq, fallback: NewPRFAllocator([]byte("scripted-fallback"))}
+}
+
+// Next implements VIDAllocator.
+func (s *ScriptedAllocator) Next() string {
+	if s.pos < len(s.Sequence) {
+		id := s.Sequence[s.pos]
+		s.pos++
+		return id
+	}
+	return s.fallback.Next()
+}

@@ -1,0 +1,35 @@
+package cryptofrag
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzEncryptDecrypt fuzzes the AEAD round trip.
+func FuzzEncryptDecrypt(f *testing.F) {
+	f.Add([]byte("plaintext"), uint64(1))
+	f.Add([]byte{}, uint64(0))
+	f.Fuzz(func(t *testing.T, data []byte, nonce uint64) {
+		ct, err := Encrypt(testKey, data, nonce)
+		if err != nil {
+			t.Fatalf("encrypt: %v", err)
+		}
+		pt, err := Decrypt(testKey, ct)
+		if err != nil {
+			t.Fatalf("decrypt: %v", err)
+		}
+		if !bytes.Equal(pt, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzDecryptHostile feeds Decrypt arbitrary bytes: it must reject or
+// round-trip, never panic.
+func FuzzDecryptHostile(f *testing.F) {
+	f.Add([]byte("not a ciphertext"))
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		_, _ = Decrypt(testKey, blob)
+	})
+}

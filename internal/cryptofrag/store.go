@@ -1,0 +1,121 @@
+package cryptofrag
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/provider"
+)
+
+// BaselineStore is the §VII-E encryption-based alternative made runnable:
+// the client encrypts each file whole and stores the ciphertext on a
+// single provider. Every query — even for a handful of bytes — must
+// "fetch the whole database, then decrypt it and run queries", which is
+// exactly the overhead the paper holds against encryption.
+type BaselineStore struct {
+	mu       sync.Mutex
+	provider provider.Provider
+	key      []byte
+	nonce    uint64
+	files    map[string]baselineFile
+}
+
+type baselineFile struct {
+	key     string // provider object key
+	origLen int
+}
+
+// NewBaselineStore wraps one provider with client-side encryption.
+func NewBaselineStore(p provider.Provider, key []byte) (*BaselineStore, error) {
+	if p == nil {
+		return nil, fmt.Errorf("cryptofrag: nil provider")
+	}
+	switch len(key) {
+	case 16, 24, 32:
+	default:
+		return nil, ErrKeySize
+	}
+	cp := make([]byte, len(key))
+	copy(cp, key)
+	return &BaselineStore{provider: p, key: cp, files: make(map[string]baselineFile)}, nil
+}
+
+// Put encrypts and uploads a whole file.
+func (s *BaselineStore) Put(filename string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.files[filename]; dup {
+		return fmt.Errorf("cryptofrag: file %q already stored", filename)
+	}
+	s.nonce++
+	ct, err := Encrypt(s.key, data, s.nonce)
+	if err != nil {
+		return err
+	}
+	objKey := fmt.Sprintf("enc-%016x", s.nonce)
+	if err := s.provider.Put(objKey, ct); err != nil {
+		return err
+	}
+	s.files[filename] = baselineFile{key: objKey, origLen: len(data)}
+	return nil
+}
+
+// Get fetches and decrypts the whole file.
+func (s *BaselineStore) Get(filename string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getLocked(filename)
+}
+
+func (s *BaselineStore) getLocked(filename string) ([]byte, error) {
+	f, ok := s.files[filename]
+	if !ok {
+		return nil, fmt.Errorf("cryptofrag: unknown file %q", filename)
+	}
+	ct, err := s.provider.Get(f.key)
+	if err != nil {
+		return nil, err
+	}
+	return Decrypt(s.key, ct)
+}
+
+// GetRange answers a byte-range query the only way an encrypted whole-
+// object store can: transfer everything, decrypt everything, slice.
+func (s *BaselineStore) GetRange(filename string, offset, length int) ([]byte, error) {
+	if offset < 0 || length < 0 {
+		return nil, fmt.Errorf("cryptofrag: range [%d, %d)", offset, offset+length)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pt, err := s.getLocked(filename)
+	if err != nil {
+		return nil, err
+	}
+	if offset+length > len(pt) {
+		return nil, fmt.Errorf("cryptofrag: range [%d, %d) beyond file of %d bytes", offset, offset+length, len(pt))
+	}
+	out := make([]byte, length)
+	copy(out, pt[offset:offset+length])
+	return out, nil
+}
+
+// Delete removes a file.
+func (s *BaselineStore) Delete(filename string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[filename]
+	if !ok {
+		return fmt.Errorf("cryptofrag: unknown file %q", filename)
+	}
+	if err := s.provider.Delete(f.key); err != nil {
+		return err
+	}
+	delete(s.files, filename)
+	return nil
+}
+
+// BytesOut reports cumulative bytes transferred from the provider —
+// the measured query cost the §VII-E comparison reads.
+func (s *BaselineStore) BytesOut() int64 {
+	return s.provider.Usage().BytesOut
+}

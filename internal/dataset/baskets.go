@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mining"
+)
+
+// BasketConfig parameterizes market-basket synthesis for the
+// association-rule attack the paper names ("association rule mining can be
+// used to discover association relationships among large number of
+// business transaction records").
+type BasketConfig struct {
+	Transactions int
+	// Catalog is the number of distinct items.
+	Catalog int
+	// PlantedRules are item pairs (a, b) where buying a implies buying b
+	// with high probability — the private associations an attacker hunts.
+	PlantedRules [][2]int
+	// PlantProb is the probability the consequent joins the basket when
+	// the antecedent is present.
+	PlantProb float64
+	// BaseProb is the independent inclusion probability of any item.
+	BaseProb float64
+	Seed     int64
+}
+
+// DefaultBasketConfig plants two strong associations in a 20-item catalog.
+func DefaultBasketConfig() BasketConfig {
+	return BasketConfig{
+		Transactions: 2000,
+		Catalog:      20,
+		PlantedRules: [][2]int{{0, 1}, {5, 9}},
+		PlantProb:    0.9,
+		BaseProb:     0.12,
+		Seed:         7,
+	}
+}
+
+// GenerateBaskets synthesizes transactions with the planted associations.
+func GenerateBaskets(cfg BasketConfig) ([]mining.Transaction, error) {
+	if cfg.Transactions < 1 || cfg.Catalog < 2 {
+		return nil, fmt.Errorf("dataset: need >=1 transactions and >=2 items, got %d, %d", cfg.Transactions, cfg.Catalog)
+	}
+	for _, r := range cfg.PlantedRules {
+		if r[0] < 0 || r[0] >= cfg.Catalog || r[1] < 0 || r[1] >= cfg.Catalog {
+			return nil, fmt.Errorf("dataset: planted rule %v outside catalog of %d", r, cfg.Catalog)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	txns := make([]mining.Transaction, cfg.Transactions)
+	for i := range txns {
+		present := make([]bool, cfg.Catalog)
+		for it := 0; it < cfg.Catalog; it++ {
+			if rng.Float64() < cfg.BaseProb {
+				present[it] = true
+			}
+		}
+		for _, r := range cfg.PlantedRules {
+			if present[r[0]] && rng.Float64() < cfg.PlantProb {
+				present[r[1]] = true
+			}
+		}
+		var t mining.Transaction
+		for it, p := range present {
+			if p {
+				t = append(t, itemName(it))
+			}
+		}
+		if len(t) == 0 {
+			t = mining.Transaction{itemName(rng.Intn(cfg.Catalog))}
+		}
+		txns[i] = t
+	}
+	return txns, nil
+}
+
+func itemName(i int) string { return fmt.Sprintf("item%02d", i) }
+
+// PlantedRuleNames converts the config's planted index pairs into the item
+// names Apriori reports, for checking rule recovery.
+func (cfg BasketConfig) PlantedRuleNames() [][2]string {
+	out := make([][2]string, len(cfg.PlantedRules))
+	for i, r := range cfg.PlantedRules {
+		out[i] = [2]string{itemName(r[0]), itemName(r[1])}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+// Package dataset synthesizes the workloads the paper's evaluation uses:
+// Hercules-style tender-bidding histories (Table IV), GPS traces of mobile
+// users (Figs. 4–6; a synthetic substitute for the paper's private data of
+// 30 Dhaka users), market-basket transactions for association-rule attacks,
+// and generic tabular records for storage workloads.
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// BidRecord is one row of the Hercules bidding history (paper Table IV).
+type BidRecord struct {
+	Year        int
+	Company     string
+	Materials   float64
+	Production  float64
+	Maintenance float64
+	Bid         float64
+}
+
+// BiddingModel is the planted linear pricing rule the malicious employee
+// (Hera) tries to recover: Bid = A·Materials + B·Production +
+// C·Maintenance + D (+ noise).
+type BiddingModel struct {
+	A, B, C, D float64
+	// Noise is the standard deviation of zero-mean Gaussian noise added to
+	// each bid, so per-fragment regressions diverge the way Table IV shows.
+	Noise float64
+}
+
+// PaperBiddingModel is the rule the paper's full-data attack recovers:
+// Bid ≈ 1.4·Materials + 1.5·Production + 3.1·Maintenance + 5436.
+func PaperBiddingModel() BiddingModel {
+	return BiddingModel{A: 1.4, B: 1.5, C: 3.1, D: 5436, Noise: 120}
+}
+
+// PaperTable4 returns the exact 12-row bidding history printed in the
+// paper's Table IV.
+func PaperTable4() []BidRecord {
+	return []BidRecord{
+		{2001, "Greece", 1300, 600, 3200, 18111},
+		{2002, "Rome", 1400, 600, 3300, 18627},
+		{2002, "Greece", 1900, 800, 3200, 19337},
+		{2004, "Rome", 1700, 900, 3500, 20078},
+		{2005, "Greece", 1700, 700, 3100, 18383},
+		{2006, "Rome", 1800, 800, 3300, 19600},
+		{2009, "Greece", 1500, 1000, 3600, 20320},
+		{2010, "Rome", 1700, 900, 3700, 20667},
+		{2010, "Greece", 1800, 700, 3500, 19937},
+		{2011, "Rome", 2100, 800, 3700, 21135},
+		{2011, "Greece", 1900, 1100, 3600, 20945},
+		{2011, "Rome", 2000, 1000, 3700, 21199},
+	}
+}
+
+// GenerateBiddingHistory synthesizes n bidding rows from the model so the
+// benchmarks can sweep dataset sizes far past the paper's 12 rows.
+func GenerateBiddingHistory(n int, model BiddingModel, rng *rand.Rand) []BidRecord {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	companies := []string{"Greece", "Rome"}
+	recs := make([]BidRecord, n)
+	year := 2001
+	for i := 0; i < n; i++ {
+		mat := 1300 + float64(rng.Intn(9))*100
+		prod := 600 + float64(rng.Intn(6))*100
+		mnt := 3100 + float64(rng.Intn(7))*100
+		bid := model.A*mat + model.B*prod + model.C*mnt + model.D + rng.NormFloat64()*model.Noise
+		recs[i] = BidRecord{
+			Year:        year,
+			Company:     companies[rng.Intn(len(companies))],
+			Materials:   mat,
+			Production:  prod,
+			Maintenance: mnt,
+			Bid:         bid,
+		}
+		if rng.Float64() < 0.6 {
+			year++
+		}
+	}
+	return recs
+}
+
+// Features converts records into the regression design set (X, y).
+func Features(recs []BidRecord) (x [][]float64, y []float64) {
+	x = make([][]float64, len(recs))
+	y = make([]float64, len(recs))
+	for i, r := range recs {
+		x[i] = []float64{r.Materials, r.Production, r.Maintenance}
+		y[i] = r.Bid
+	}
+	return x, y
+}
+
+// BiddingCSV serializes records to CSV — the file format clients upload to
+// the distributor in the benchmarks.
+func BiddingCSV(recs []BidRecord) []byte {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write([]string{"year", "company", "materials", "production", "maintenance", "bid"})
+	for _, r := range recs {
+		_ = w.Write([]string{
+			strconv.Itoa(r.Year), r.Company,
+			fmt.Sprintf("%.0f", r.Materials),
+			fmt.Sprintf("%.0f", r.Production),
+			fmt.Sprintf("%.0f", r.Maintenance),
+			fmt.Sprintf("%.2f", r.Bid),
+		})
+	}
+	w.Flush()
+	return []byte(b.String())
+}
+
+// ParseBiddingCSV is the inverse of BiddingCSV. Rows that fail to parse
+// (e.g. misleading decoy bytes an attacker failed to strip) are skipped and
+// counted — this models an attacker mining a corrupted fragment.
+func ParseBiddingCSV(data []byte) (recs []BidRecord, skipped int, err error) {
+	r := csv.NewReader(strings.NewReader(string(data)))
+	r.FieldsPerRecord = -1
+	rows, err := r.ReadAll()
+	if err != nil {
+		// CSV-level corruption: salvage line by line.
+		return parseBiddingLoose(string(data))
+	}
+	for i, row := range rows {
+		if i == 0 && len(row) > 0 && row[0] == "year" {
+			continue
+		}
+		rec, ok := parseBidRow(row)
+		if !ok {
+			skipped++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs, skipped, nil
+}
+
+func parseBiddingLoose(data string) (recs []BidRecord, skipped int, err error) {
+	for _, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "year,") {
+			continue
+		}
+		rec, ok := parseBidRow(strings.Split(line, ","))
+		if !ok {
+			skipped++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs, skipped, nil
+}
+
+func parseBidRow(row []string) (BidRecord, bool) {
+	if len(row) != 6 {
+		return BidRecord{}, false
+	}
+	year, err1 := strconv.Atoi(strings.TrimSpace(row[0]))
+	mat, err2 := strconv.ParseFloat(strings.TrimSpace(row[2]), 64)
+	prod, err3 := strconv.ParseFloat(strings.TrimSpace(row[3]), 64)
+	mnt, err4 := strconv.ParseFloat(strings.TrimSpace(row[4]), 64)
+	bid, err5 := strconv.ParseFloat(strings.TrimSpace(row[5]), 64)
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
+		return BidRecord{}, false
+	}
+	return BidRecord{Year: year, Company: row[1], Materials: mat, Production: prod, Maintenance: mnt, Bid: bid}, true
+}

@@ -1,0 +1,407 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mining"
+)
+
+func TestPaperTable4MatchesPaper(t *testing.T) {
+	recs := PaperTable4()
+	if len(recs) != 12 {
+		t.Fatalf("rows = %d, want 12", len(recs))
+	}
+	first := recs[0]
+	if first.Year != 2001 || first.Company != "Greece" || first.Bid != 18111 {
+		t.Fatalf("first row = %+v", first)
+	}
+	last := recs[11]
+	if last.Year != 2011 || last.Company != "Rome" || last.Bid != 21199 {
+		t.Fatalf("last row = %+v", last)
+	}
+}
+
+func TestPaperTable4RegressionIsNearPaperEquation(t *testing.T) {
+	// The paper reports the full-data fit ≈ 1.4·M + 1.5·P + 3.1·Mn + 5436.
+	x, y := Features(PaperTable4())
+	m, err := mining.LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.4, 1.5, 3.1}
+	for i := range want {
+		if math.Abs(m.Coeffs[i]-want[i]) > 0.35 {
+			t.Fatalf("coeff[%d] = %v, paper reports %v", i, m.Coeffs[i], want[i])
+		}
+	}
+	if math.Abs(m.Intercept-5436) > 800 {
+		t.Fatalf("intercept = %v, paper reports 5436", m.Intercept)
+	}
+}
+
+func TestGenerateBiddingHistory(t *testing.T) {
+	model := PaperBiddingModel()
+	recs := GenerateBiddingHistory(200, model, rand.New(rand.NewSource(3)))
+	if len(recs) != 200 {
+		t.Fatalf("rows = %d", len(recs))
+	}
+	// Full-data regression must recover the planted coefficients closely.
+	x, y := Features(recs)
+	m, err := mining.LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coeffs[0]-model.A) > 0.2 || math.Abs(m.Coeffs[1]-model.B) > 0.2 || math.Abs(m.Coeffs[2]-model.C) > 0.2 {
+		t.Fatalf("coeffs = %v, want ~(%v,%v,%v)", m.Coeffs, model.A, model.B, model.C)
+	}
+	for _, r := range recs {
+		if r.Year < 2001 || r.Materials < 1300 || r.Materials > 2100 {
+			t.Fatalf("out-of-range record %+v", r)
+		}
+	}
+}
+
+func TestBiddingCSVRoundTrip(t *testing.T) {
+	recs := PaperTable4()
+	data := BiddingCSV(recs)
+	got, skipped, err := ParseBiddingCSV(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("skipped = %d", skipped)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("rows = %d, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Year != recs[i].Year || got[i].Company != recs[i].Company ||
+			got[i].Materials != recs[i].Materials || math.Abs(got[i].Bid-recs[i].Bid) > 0.01 {
+			t.Fatalf("row %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestParseBiddingCSVCorrupted(t *testing.T) {
+	data := []byte("year,company,materials,production,maintenance,bid\n2001,Greece,1300,600,3200,18111\nGARBAGE LINE\n2002,Rome,bad,600,3300,18627\n")
+	recs, skipped, err := ParseBiddingCSV(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || skipped != 2 {
+		t.Fatalf("recs=%d skipped=%d, want 1, 2", len(recs), skipped)
+	}
+}
+
+func TestGenerateGPSValidation(t *testing.T) {
+	if _, _, err := GenerateGPS(GPSConfig{Users: 0, Groups: 1, ObsPerUser: 1}); err == nil {
+		t.Fatal("Users=0 should error")
+	}
+	if _, _, err := GenerateGPS(GPSConfig{Users: 2, Groups: 3, ObsPerUser: 1}); err == nil {
+		t.Fatal("Groups>Users should error")
+	}
+	if _, _, err := GenerateGPS(GPSConfig{Users: 2, Groups: 1, ObsPerUser: 0}); err == nil {
+		t.Fatal("ObsPerUser=0 should error")
+	}
+}
+
+func TestGenerateGPSShape(t *testing.T) {
+	cfg := DefaultGPSConfig()
+	profiles, points, err := GenerateGPS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 30 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	if len(points) != 30*cfg.ObsPerUser {
+		t.Fatalf("points = %d, want %d", len(points), 30*cfg.ObsPerUser)
+	}
+	if len(points) <= 3000 {
+		t.Fatalf("paper requires >3000 observations, got %d", len(points))
+	}
+	for _, p := range profiles {
+		if p.Group != p.User%cfg.Groups {
+			t.Fatalf("profile %d group = %d", p.User, p.Group)
+		}
+		if len(p.Anchors) != 3 || len(p.Weights) != 3 {
+			t.Fatalf("profile %d anchors/weights wrong", p.User)
+		}
+	}
+}
+
+func TestGenerateGPSDeterministic(t *testing.T) {
+	cfg := DefaultGPSConfig()
+	_, p1, _ := GenerateGPS(cfg)
+	_, p2, _ := GenerateGPS(cfg)
+	if len(p1) != len(p2) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("same seed gave different traces")
+		}
+	}
+}
+
+func TestUserFeatureVectors(t *testing.T) {
+	cfg := DefaultGPSConfig()
+	_, points, _ := GenerateGPS(cfg)
+	vecs, ids := UserFeatureVectors(points)
+	if len(vecs) != 30 || len(ids) != 30 {
+		t.Fatalf("vectors = %d, ids = %d", len(vecs), len(ids))
+	}
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("ids not ascending contiguous: %v", ids)
+		}
+	}
+	for _, v := range vecs {
+		if len(v) != 4 {
+			t.Fatalf("feature dim = %d", len(v))
+		}
+		// Mean lat/lon must be near Dhaka.
+		if v[0] < 23 || v[0] > 25 || v[1] < 89 || v[1] > 92 {
+			t.Fatalf("feature out of city bounds: %v", v)
+		}
+	}
+}
+
+func TestUserFeatureVectorsSubset(t *testing.T) {
+	pts := []GPSPoint{
+		{User: 3, Lat: 1, Lon: 2},
+		{User: 3, Lat: 1, Lon: 2},
+		{User: 7, Lat: 5, Lon: 6},
+	}
+	vecs, ids := UserFeatureVectors(pts)
+	if len(vecs) != 2 || ids[0] != 3 || ids[1] != 7 {
+		t.Fatalf("vecs=%d ids=%v", len(vecs), ids)
+	}
+	if vecs[0][0] != 1 || vecs[0][1] != 2 || vecs[0][2] != 0 {
+		t.Fatalf("mean/var wrong: %v", vecs[0])
+	}
+}
+
+func TestGPSCSVRoundTrip(t *testing.T) {
+	_, points, _ := GenerateGPS(GPSConfig{Users: 3, Groups: 2, ObsPerUser: 5, AnchorNoise: 0.01, Seed: 5})
+	data := GPSCSV(points)
+	got, skipped := ParseGPSCSV(data)
+	if skipped != 0 {
+		t.Fatalf("skipped = %d", skipped)
+	}
+	if len(got) != len(points) {
+		t.Fatalf("points = %d, want %d", len(got), len(points))
+	}
+	for i := range points {
+		if got[i].User != points[i].User || math.Abs(got[i].Lat-points[i].Lat) > 1e-5 {
+			t.Fatalf("point %d mismatch", i)
+		}
+	}
+}
+
+func TestParseGPSCSVCorrupted(t *testing.T) {
+	data := []byte("user,t,lat,lon\n0,0,23.7,90.4\nnoise###\n1,bad,23.8,90.3\n")
+	pts, skipped := ParseGPSCSV(data)
+	if len(pts) != 1 || skipped != 2 {
+		t.Fatalf("pts=%d skipped=%d", len(pts), skipped)
+	}
+}
+
+func TestGroupStructureVisibleInFullData(t *testing.T) {
+	// Users of the same group must be mutually closer (in feature space)
+	// than users of different groups, so clustering the full data works.
+	cfg := DefaultGPSConfig()
+	profiles, points, _ := GenerateGPS(cfg)
+	vecs, ids := UserFeatureVectors(points)
+	sameSum, sameN, diffSum, diffN := 0.0, 0, 0.0, 0
+	for i := range vecs {
+		for j := i + 1; j < len(vecs); j++ {
+			d := 0.0
+			for k := range vecs[i] {
+				dv := vecs[i][k] - vecs[j][k]
+				d += dv * dv
+			}
+			d = math.Sqrt(d)
+			if profiles[ids[i]].Group == profiles[ids[j]].Group {
+				sameSum += d
+				sameN++
+			} else {
+				diffSum += d
+				diffN++
+			}
+		}
+	}
+	if sameSum/float64(sameN) >= diffSum/float64(diffN) {
+		t.Fatalf("within-group distance %v >= across-group %v", sameSum/float64(sameN), diffSum/float64(diffN))
+	}
+}
+
+func TestGenerateBaskets(t *testing.T) {
+	cfg := DefaultBasketConfig()
+	cfg.Transactions = 500
+	txns, err := GenerateBaskets(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txns) != 500 {
+		t.Fatalf("txns = %d", len(txns))
+	}
+	// The planted rule item00 → item01 must be recoverable by Apriori.
+	_, rules, err := mining.Apriori(txns, 0.05, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := cfg.PlantedRuleNames()
+	found := false
+	for _, r := range rules {
+		if len(r.Antecedent) == 1 && len(r.Consequent) == 1 &&
+			r.Antecedent[0] == names[0][0] && r.Consequent[0] == names[0][1] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("planted rule not recoverable from full data")
+	}
+}
+
+func TestGenerateBasketsValidation(t *testing.T) {
+	if _, err := GenerateBaskets(BasketConfig{Transactions: 0, Catalog: 5}); err == nil {
+		t.Fatal("0 transactions should error")
+	}
+	if _, err := GenerateBaskets(BasketConfig{Transactions: 5, Catalog: 1}); err == nil {
+		t.Fatal("catalog of 1 should error")
+	}
+	if _, err := GenerateBaskets(BasketConfig{Transactions: 5, Catalog: 5, PlantedRules: [][2]int{{0, 9}}}); err == nil {
+		t.Fatal("rule outside catalog should error")
+	}
+}
+
+func TestRandomBytes(t *testing.T) {
+	b := RandomBytes(1000, rand.New(rand.NewSource(1)))
+	if len(b) != 1000 {
+		t.Fatalf("len = %d", len(b))
+	}
+	b2 := RandomBytes(1000, rand.New(rand.NewSource(1)))
+	if !bytes.Equal(b, b2) {
+		t.Fatal("same seed gave different bytes")
+	}
+	if bytes.Equal(b, make([]byte, 1000)) {
+		t.Fatal("bytes are all zero")
+	}
+}
+
+func TestTextRecords(t *testing.T) {
+	b := TextRecords(50, nil)
+	lines := bytes.Count(b, []byte("\n"))
+	if lines != 50 {
+		t.Fatalf("lines = %d", lines)
+	}
+	if !bytes.Contains(b, []byte("seq=0 ")) {
+		t.Fatal("missing first record")
+	}
+}
+
+// Property: bidding CSV round-trips for arbitrary generated histories.
+func TestBiddingCSVRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		recs := GenerateBiddingHistory(n, PaperBiddingModel(), rng)
+		got, skipped, err := ParseBiddingCSV(BiddingCSV(recs))
+		if err != nil || skipped != 0 || len(got) != n {
+			return false
+		}
+		for i := range recs {
+			if got[i].Year != recs[i].Year || math.Abs(got[i].Bid-recs[i].Bid) > 0.01 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateHealthRecords(t *testing.T) {
+	cfg := DefaultHealthConfig()
+	recs, err := GenerateHealthRecords(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != cfg.Patients {
+		t.Fatalf("patients = %d", len(recs))
+	}
+	high, low := 0, 0
+	for _, r := range recs {
+		switch r.Risk {
+		case "high":
+			high++
+		case "low":
+			low++
+		default:
+			t.Fatalf("bad risk %q", r.Risk)
+		}
+	}
+	if high == 0 || low == 0 {
+		t.Fatalf("classes: high=%d low=%d", high, low)
+	}
+	// High-risk vitals are systematically shifted.
+	var hiG, loG float64
+	for _, r := range recs {
+		if r.Risk == "high" {
+			hiG += r.Glucose
+		} else {
+			loG += r.Glucose
+		}
+	}
+	if hiG/float64(high) <= loG/float64(low) {
+		t.Fatal("high-risk glucose not elevated — no learnable signal")
+	}
+}
+
+func TestGenerateHealthRecordsValidation(t *testing.T) {
+	if _, err := GenerateHealthRecords(HealthConfig{Patients: 1, HighRiskFraction: 0.5}); err == nil {
+		t.Fatal("1 patient accepted")
+	}
+	if _, err := GenerateHealthRecords(HealthConfig{Patients: 10, HighRiskFraction: 0}); err == nil {
+		t.Fatal("fraction 0 accepted")
+	}
+	if _, err := GenerateHealthRecords(HealthConfig{Patients: 10, HighRiskFraction: 1}); err == nil {
+		t.Fatal("fraction 1 accepted")
+	}
+}
+
+func TestHealthCSVRoundTrip(t *testing.T) {
+	recs, _ := GenerateHealthRecords(HealthConfig{Patients: 30, HighRiskFraction: 0.4, Seed: 4})
+	got, skipped := ParseHealthCSV(HealthCSV(recs))
+	if skipped != 0 || len(got) != 30 {
+		t.Fatalf("rows=%d skipped=%d", len(got), skipped)
+	}
+	for i := range recs {
+		if got[i].Patient != recs[i].Patient || got[i].Risk != recs[i].Risk ||
+			math.Abs(got[i].Glucose-recs[i].Glucose) > 0.01 {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestParseHealthCSVCorrupted(t *testing.T) {
+	data := []byte("patient,age,bmi,bloodsys,glucose,risk\n1,40,24,120,90,low\nGARBAGE\n2,55,31,150,130,banana\n")
+	recs, skipped := ParseHealthCSV(data)
+	if len(recs) != 1 || skipped != 2 {
+		t.Fatalf("rows=%d skipped=%d", len(recs), skipped)
+	}
+}
+
+func TestHealthFeatures(t *testing.T) {
+	recs := []HealthRecord{{Age: 40, BMI: 25, BloodSys: 120, Glucose: 90, Risk: "low"}}
+	x, y := HealthFeatures(recs)
+	if len(x) != 1 || len(x[0]) != 4 || y[0] != "low" {
+		t.Fatalf("features: %v %v", x, y)
+	}
+}

@@ -1,0 +1,31 @@
+package dataset
+
+import "testing"
+
+// FuzzParseBiddingCSV feeds arbitrary bytes to the CSV salvager: it must
+// never panic (attackers parse hostile fragments all day).
+func FuzzParseBiddingCSV(f *testing.F) {
+	f.Add([]byte("year,company,materials,production,maintenance,bid\n2001,Greece,1,2,3,4\n"))
+	f.Add([]byte("\x00\xff garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = ParseBiddingCSV(data)
+	})
+}
+
+// FuzzParseGPSCSV must never panic on hostile fragments.
+func FuzzParseGPSCSV(f *testing.F) {
+	f.Add([]byte("0,0,23.7,90.4\n"))
+	f.Add([]byte(",,,,\n1,2\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ParseGPSCSV(data)
+	})
+}
+
+// FuzzParseHealthCSV must never panic on hostile fragments.
+func FuzzParseHealthCSV(f *testing.F) {
+	f.Add([]byte("1,40,24,120,90,low\n"))
+	f.Add([]byte("patient,age\nx\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ParseHealthCSV(data)
+	})
+}

@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// GPSPoint is one location observation of one user.
+type GPSPoint struct {
+	User int     // 0-based user index
+	T    int     // observation sequence number
+	Lat  float64 // degrees
+	Lon  float64 // degrees
+}
+
+// GPSProfile describes one synthetic user: a set of anchor points
+// (home/work/leisure) with visit probabilities. Users in the same
+// behavioural group share anchors, so clustering the full data recovers
+// the groups — the structure Figs. 4–6 probe.
+type GPSProfile struct {
+	User    int
+	Group   int
+	Anchors [][2]float64 // (lat, lon) anchor coordinates
+	Weights []float64    // visit probability per anchor (sums to 1)
+}
+
+// GPSConfig parameterizes trace synthesis.
+type GPSConfig struct {
+	Users       int     // number of users (paper: 30)
+	Groups      int     // number of behavioural groups
+	ObsPerUser  int     // observations per user (paper: >3000 total → >100 each)
+	AnchorNoise float64 // Gaussian jitter around anchors, in degrees
+	Seed        int64
+}
+
+// DefaultGPSConfig mirrors the paper's setup: 30 users of a location-based
+// service, >3000 total observations.
+func DefaultGPSConfig() GPSConfig {
+	return GPSConfig{Users: 30, Groups: 5, ObsPerUser: 110, AnchorNoise: 0.004, Seed: 2012}
+}
+
+// dhakaCenter approximates the paper's data-collection city.
+var dhakaCenter = [2]float64{23.78, 90.40}
+
+// GenerateGPS synthesizes profiles and traces. Each group gets its own
+// anchor constellation; each user perturbs the group anchors slightly, so
+// within-group users are mutually closer than across groups.
+func GenerateGPS(cfg GPSConfig) ([]GPSProfile, []GPSPoint, error) {
+	if cfg.Users < 1 {
+		return nil, nil, fmt.Errorf("dataset: Users=%d must be >= 1", cfg.Users)
+	}
+	if cfg.Groups < 1 || cfg.Groups > cfg.Users {
+		return nil, nil, fmt.Errorf("dataset: Groups=%d out of [1,%d]", cfg.Groups, cfg.Users)
+	}
+	if cfg.ObsPerUser < 1 {
+		return nil, nil, fmt.Errorf("dataset: ObsPerUser=%d must be >= 1", cfg.ObsPerUser)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// One anchor constellation per group, spread around the city.
+	groupAnchors := make([][][2]float64, cfg.Groups)
+	for g := range groupAnchors {
+		anchors := make([][2]float64, 3) // home, work, leisure
+		for a := range anchors {
+			anchors[a] = [2]float64{
+				dhakaCenter[0] + rng.NormFloat64()*0.05 + float64(g)*0.02,
+				dhakaCenter[1] + rng.NormFloat64()*0.05 - float64(g)*0.02,
+			}
+		}
+		groupAnchors[g] = anchors
+	}
+
+	profiles := make([]GPSProfile, cfg.Users)
+	for u := 0; u < cfg.Users; u++ {
+		g := u % cfg.Groups
+		anchors := make([][2]float64, len(groupAnchors[g]))
+		for a, base := range groupAnchors[g] {
+			anchors[a] = [2]float64{
+				base[0] + rng.NormFloat64()*0.002,
+				base[1] + rng.NormFloat64()*0.002,
+			}
+		}
+		weights := []float64{0.5, 0.35, 0.15} // home-heavy routine
+		profiles[u] = GPSProfile{User: u, Group: g, Anchors: anchors, Weights: weights}
+	}
+	// Emit observations in time-major order, the way a location-based
+	// service logs them: consecutive slices of the stream then contain
+	// a few observations of every user, matching the paper's fragment
+	// dendrograms (all 30 users appear with far fewer samples each).
+	var points []GPSPoint
+	for t := 0; t < cfg.ObsPerUser; t++ {
+		for u := 0; u < cfg.Users; u++ {
+			p := profiles[u]
+			a := sampleIndex(p.Weights, rng)
+			points = append(points, GPSPoint{
+				User: u,
+				T:    t,
+				Lat:  p.Anchors[a][0] + rng.NormFloat64()*cfg.AnchorNoise,
+				Lon:  p.Anchors[a][1] + rng.NormFloat64()*cfg.AnchorNoise,
+			})
+		}
+	}
+	return profiles, points, nil
+}
+
+func sampleIndex(weights []float64, rng *rand.Rand) int {
+	r := rng.Float64()
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if r < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// UserFeatureVectors reduces a set of observations to one feature vector
+// per user — the per-user summary statistics (mean and spread of location)
+// the clustering attack runs on. Users with no observations in the slice
+// are omitted; the returned userIDs parallel the vectors.
+func UserFeatureVectors(points []GPSPoint) (vectors [][]float64, userIDs []int) {
+	type agg struct {
+		n                int
+		sumLat, sumLon   float64
+		sumLat2, sumLon2 float64
+	}
+	byUser := map[int]*agg{}
+	for _, p := range points {
+		a := byUser[p.User]
+		if a == nil {
+			a = &agg{}
+			byUser[p.User] = a
+		}
+		a.n++
+		a.sumLat += p.Lat
+		a.sumLon += p.Lon
+		a.sumLat2 += p.Lat * p.Lat
+		a.sumLon2 += p.Lon * p.Lon
+	}
+	// Deterministic ascending user order.
+	maxUser := -1
+	for u := range byUser {
+		if u > maxUser {
+			maxUser = u
+		}
+	}
+	for u := 0; u <= maxUser; u++ {
+		a, ok := byUser[u]
+		if !ok {
+			continue
+		}
+		n := float64(a.n)
+		meanLat, meanLon := a.sumLat/n, a.sumLon/n
+		varLat := a.sumLat2/n - meanLat*meanLat
+		varLon := a.sumLon2/n - meanLon*meanLon
+		if varLat < 0 {
+			varLat = 0
+		}
+		if varLon < 0 {
+			varLon = 0
+		}
+		vectors = append(vectors, []float64{meanLat, meanLon, varLat * 1000, varLon * 1000})
+		userIDs = append(userIDs, u)
+	}
+	return vectors, userIDs
+}
+
+// GPSCSV serializes observations to the CSV file a client would upload.
+func GPSCSV(points []GPSPoint) []byte {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write([]string{"user", "t", "lat", "lon"})
+	for _, p := range points {
+		_ = w.Write([]string{
+			strconv.Itoa(p.User), strconv.Itoa(p.T),
+			strconv.FormatFloat(p.Lat, 'f', 6, 64),
+			strconv.FormatFloat(p.Lon, 'f', 6, 64),
+		})
+	}
+	w.Flush()
+	return []byte(b.String())
+}
+
+// ParseGPSCSV is the inverse of GPSCSV; unparseable rows are skipped and
+// counted, modelling mining over corrupted fragments.
+func ParseGPSCSV(data []byte) (points []GPSPoint, skipped int) {
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "user,") {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) != 4 {
+			skipped++
+			continue
+		}
+		user, e1 := strconv.Atoi(f[0])
+		t, e2 := strconv.Atoi(f[1])
+		lat, e3 := strconv.ParseFloat(f[2], 64)
+		lon, e4 := strconv.ParseFloat(f[3], 64)
+		if e1 != nil || e2 != nil || e3 != nil || e4 != nil {
+			skipped++
+			continue
+		}
+		points = append(points, GPSPoint{User: user, T: t, Lat: lat, Lon: lon})
+	}
+	return points, skipped
+}

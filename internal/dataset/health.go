@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// HealthRecord is one row of a synthetic patient dataset — the paper's
+// motivating example of mining risk ("the likelihood of an individual
+// getting a terminal illness"). Features are routine vitals; Risk is the
+// protected outcome a prediction attack tries to learn.
+type HealthRecord struct {
+	Patient  int
+	Age      float64
+	BMI      float64
+	BloodSys float64
+	Glucose  float64
+	Risk     string // "low" or "high"
+}
+
+// HealthConfig parameterizes patient-record synthesis.
+type HealthConfig struct {
+	Patients int
+	// HighRiskFraction of patients carry the high-risk profile.
+	HighRiskFraction float64
+	Seed             int64
+}
+
+// DefaultHealthConfig yields a balanced, clearly separable cohort.
+func DefaultHealthConfig() HealthConfig {
+	return HealthConfig{Patients: 600, HighRiskFraction: 0.4, Seed: 11}
+}
+
+// GenerateHealthRecords synthesizes the cohort: high-risk patients have
+// systematically shifted vitals (the learnable signal).
+func GenerateHealthRecords(cfg HealthConfig) ([]HealthRecord, error) {
+	if cfg.Patients < 2 {
+		return nil, fmt.Errorf("dataset: Patients=%d", cfg.Patients)
+	}
+	if cfg.HighRiskFraction <= 0 || cfg.HighRiskFraction >= 1 {
+		return nil, fmt.Errorf("dataset: HighRiskFraction=%v outside (0,1)", cfg.HighRiskFraction)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	recs := make([]HealthRecord, cfg.Patients)
+	for i := range recs {
+		high := rng.Float64() < cfg.HighRiskFraction
+		r := HealthRecord{Patient: i, Risk: "low"}
+		// The class-conditional distributions overlap substantially, so
+		// prediction quality depends on training-set size — the lever
+		// fragmentation pulls.
+		if high {
+			r.Risk = "high"
+			r.Age = 52 + rng.NormFloat64()*13
+			r.BMI = 28 + rng.NormFloat64()*4.5
+			r.BloodSys = 136 + rng.NormFloat64()*16
+			r.Glucose = 112 + rng.NormFloat64()*20
+		} else {
+			r.Age = 44 + rng.NormFloat64()*13
+			r.BMI = 25.5 + rng.NormFloat64()*4.5
+			r.BloodSys = 124 + rng.NormFloat64()*16
+			r.Glucose = 98 + rng.NormFloat64()*20
+		}
+		recs[i] = r
+	}
+	return recs, nil
+}
+
+// HealthFeatures converts records into a feature matrix and label slice
+// for the prediction attack.
+func HealthFeatures(recs []HealthRecord) (x [][]float64, y []string) {
+	x = make([][]float64, len(recs))
+	y = make([]string, len(recs))
+	for i, r := range recs {
+		x[i] = []float64{r.Age, r.BMI, r.BloodSys, r.Glucose}
+		y[i] = r.Risk
+	}
+	return x, y
+}
+
+// HealthCSV serializes records to the uploadable CSV form.
+func HealthCSV(recs []HealthRecord) []byte {
+	var b strings.Builder
+	b.WriteString("patient,age,bmi,bloodsys,glucose,risk\n")
+	for _, r := range recs {
+		fmt.Fprintf(&b, "%d,%.2f,%.2f,%.2f,%.2f,%s\n",
+			r.Patient, r.Age, r.BMI, r.BloodSys, r.Glucose, r.Risk)
+	}
+	return []byte(b.String())
+}
+
+// ParseHealthCSV is the inverse of HealthCSV; unparseable rows (chunk
+// boundary cuts, decoys) are skipped and counted.
+func ParseHealthCSV(data []byte) (recs []HealthRecord, skipped int) {
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "patient,") {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) != 6 {
+			skipped++
+			continue
+		}
+		patient, e1 := strconv.Atoi(f[0])
+		age, e2 := strconv.ParseFloat(f[1], 64)
+		bmi, e3 := strconv.ParseFloat(f[2], 64)
+		sys, e4 := strconv.ParseFloat(f[3], 64)
+		glu, e5 := strconv.ParseFloat(f[4], 64)
+		risk := f[5]
+		if e1 != nil || e2 != nil || e3 != nil || e4 != nil || e5 != nil || (risk != "low" && risk != "high") {
+			skipped++
+			continue
+		}
+		recs = append(recs, HealthRecord{Patient: patient, Age: age, BMI: bmi, BloodSys: sys, Glucose: glu, Risk: risk})
+	}
+	return recs, skipped
+}

@@ -1,0 +1,35 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+)
+
+// RandomBytes returns n pseudo-random bytes — generic storage payloads for
+// distribution-time and throughput benchmarks.
+func RandomBytes(n int, rng *rand.Rand) []byte {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return b
+}
+
+// TextRecords returns n lines of structured key=value text, a compressible
+// realistic file body (e.g. application logs a client archives to cloud).
+func TextRecords(n int, rng *rand.Rand) []byte {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(2))
+	}
+	var buf bytes.Buffer
+	events := []string{"login", "purchase", "view", "logout", "refund"}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&buf, "seq=%d user=u%04d event=%s amount=%.2f region=r%d\n",
+			i, rng.Intn(500), events[rng.Intn(len(events))], rng.Float64()*900, rng.Intn(8))
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/privacy"
+	"repro/internal/provider"
+)
+
+// BasketPoint reports rule recovery for one attacker foothold.
+type BasketPoint struct {
+	Scope          string // "full" or the insider's provider name
+	TxnsRecovered  int
+	RulesMined     int
+	PlantedFound   int
+	PlantedMissing int
+}
+
+// BasketRuleExperiment plants association rules in a transaction log
+// (§II-B: "association rule mining can be used to discover association
+// relationships among large number of business transaction records"),
+// uploads the log once to a single provider and once fragmented across
+// nProviders, and reports whether each attacker recovers the planted
+// rules.
+func BasketRuleExperiment(cfg dataset.BasketConfig, nProviders int, minSup, minConf float64) ([]BasketPoint, error) {
+	txns, err := dataset.GenerateBaskets(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var body []byte
+	for _, txn := range txns {
+		body = append(body, []byte(strings.Join(txn, ","))...)
+		body = append(body, '\n')
+	}
+	planted := cfg.PlantedRuleNames()
+
+	score := func(scope string, blobs []attack.Blob) BasketPoint {
+		res := attack.BasketRuleAttack(blobs, minSup, minConf)
+		p := BasketPoint{Scope: scope, TxnsRecovered: res.TxnsRecovered, RulesMined: len(res.Rules)}
+		for _, pr := range planted {
+			if attack.HasRule(res.Rules, pr[0], pr[1]) {
+				p.PlantedFound++
+			} else {
+				p.PlantedMissing++
+			}
+		}
+		return p
+	}
+
+	// Single-provider baseline.
+	solo, err := provider.NewFleet(provider.MustNew(provider.Info{Name: "solo", PL: privacy.High, CL: 0}, provider.Options{}))
+	if err != nil {
+		return nil, err
+	}
+	ds, err := core.New(core.Config{Fleet: solo, StripeWidth: 1})
+	if err != nil {
+		return nil, err
+	}
+	if err := seedAndUpload(ds, "shop", "txns.log", body, privacy.Public, core.UploadOptions{NoParity: true}); err != nil {
+		return nil, err
+	}
+	soloBlobs, err := attack.DumpProviders(solo, []int{0})
+	if err != nil {
+		return nil, err
+	}
+	out := []BasketPoint{score("full", soloBlobs)}
+
+	// Fragmented across nProviders with small chunks; each insider mines
+	// its own share.
+	fleet, err := BuildFleet(nProviders, provider.LatencyModel{})
+	if err != nil {
+		return nil, err
+	}
+	policy := privacy.ChunkSizePolicy{SizeByLevel: map[privacy.Level]int{
+		privacy.Public: 1 << 10, privacy.Low: 1 << 10, privacy.Moderate: 512, privacy.High: 256,
+	}}
+	dd, err := core.New(core.Config{Fleet: fleet, ChunkPolicy: policy, StripeWidth: nProviders})
+	if err != nil {
+		return nil, err
+	}
+	if err := seedAndUpload(dd, "shop", "txns.log", body, privacy.Moderate, core.UploadOptions{NoParity: true}); err != nil {
+		return nil, err
+	}
+	for i := 0; i < fleet.Len(); i++ {
+		blobs, err := attack.DumpProviders(fleet, []int{i})
+		if err != nil {
+			return nil, err
+		}
+		p, _ := fleet.At(i)
+		out = append(out, score(p.Info().Name, blobs))
+	}
+	return out, nil
+}
+
+// FormatBasketExperiment renders rule recovery per attacker scope.
+func FormatBasketExperiment(points []BasketPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %10s %14s %16s\n", "scope", "txns", "rules", "planted found", "planted missing")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-8s %10d %10d %14d %16d\n", p.Scope, p.TxnsRecovered, p.RulesMined, p.PlantedFound, p.PlantedMissing)
+	}
+	return b.String()
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/mining"
+)
+
+// GPSFiguresResult reproduces Figs. 4–6: the dendrogram over the entire
+// GPS data set (>3000 observations of 30 users) and the dendrograms over
+// two 500-observation fragments, plus the agreement statistics that turn
+// "many entities have moved from their original cluster" into numbers.
+type GPSFiguresResult struct {
+	Config dataset.GPSConfig
+	// Full is the Fig. 4 clustering (all observations).
+	Full GPSFigure
+	// Fragments are the Fig. 5 and Fig. 6 clusterings (500 observations
+	// each, disjoint).
+	Fragments []GPSFigure
+	// TruthARI is the adjusted Rand index of each clustering against the
+	// planted behavioural groups: [full, frag1, frag2].
+	TruthARI []float64
+	// FullARI[i] is fragment i's ARI against the full-data clustering.
+	FullARI []float64
+	// Migrations[i] counts pair relationships that changed between the
+	// full clustering and fragment i's clustering.
+	Migrations []int
+	// MigratedUsers[i] counts users touched by at least one changed pair.
+	MigratedUsers []int
+	// CopheneticCorr[i] correlates fragment i's dendrogram heights with
+	// the full dendrogram's.
+	CopheneticCorr []float64
+}
+
+// GPSFigure is one dendrogram plot's worth of data.
+type GPSFigure struct {
+	Label        string
+	Observations int
+	Users        []int
+	Dendrogram   *mining.Dendrogram
+	LeafOrder    []int
+	Labels       []int // flat clustering at k = Config.Groups
+}
+
+// GPSFigures generates the synthetic 30-user traces and clusters the
+// whole set and two 500-observation fragments, exactly mirroring the
+// paper's §VIII-B methodology ("Figure 4 corresponds to the clustering of
+// users using more than 3000 observations and Figure 5 and Figure 6
+// corresponds to clustering using 500 observations").
+func GPSFigures(cfg dataset.GPSConfig, fragmentObs int) (*GPSFiguresResult, error) {
+	if fragmentObs < 1 {
+		return nil, fmt.Errorf("experiments: fragmentObs %d", fragmentObs)
+	}
+	profiles, points, err := dataset.GenerateGPS(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(points) <= 2*fragmentObs {
+		return nil, fmt.Errorf("experiments: %d observations cannot yield two disjoint fragments of %d", len(points), fragmentObs)
+	}
+	res := &GPSFiguresResult{Config: cfg}
+
+	full, err := clusterFigure("Fig. 4 (entire data)", points, cfg.Groups)
+	if err != nil {
+		return nil, err
+	}
+	res.Full = *full
+
+	// Interleave observations across fragments (users appear in both, as
+	// they would when chunks scatter): fragment f takes a contiguous slab.
+	frags := [][]dataset.GPSPoint{
+		points[:fragmentObs],
+		points[fragmentObs : 2*fragmentObs],
+	}
+	for i, fp := range frags {
+		fig, err := clusterFigure(fmt.Sprintf("Fig. %d (fragment of %d observations)", 5+i, fragmentObs), fp, cfg.Groups)
+		if err != nil {
+			return nil, err
+		}
+		res.Fragments = append(res.Fragments, *fig)
+	}
+
+	// Agreement statistics.
+	truthOf := func(users []int) []int {
+		out := make([]int, len(users))
+		for i, u := range users {
+			out[i] = profiles[u].Group
+		}
+		return out
+	}
+	ariFull, err := metrics.AdjustedRandIndex(res.Full.Labels, truthOf(res.Full.Users))
+	if err != nil {
+		return nil, err
+	}
+	res.TruthARI = append(res.TruthARI, ariFull)
+	fullCoph := res.Full.Dendrogram.CopheneticDistances()
+
+	for i := range res.Fragments {
+		frag := &res.Fragments[i]
+		ari, err := metrics.AdjustedRandIndex(frag.Labels, truthOf(frag.Users))
+		if err != nil {
+			return nil, err
+		}
+		res.TruthARI = append(res.TruthARI, ari)
+
+		// Compare with the full clustering restricted to the fragment's
+		// visible users.
+		fullRestricted, fragLabels := restrictLabels(res.Full.Users, res.Full.Labels, frag.Users, frag.Labels)
+		ariVsFull, err := metrics.AdjustedRandIndex(fragLabels, fullRestricted)
+		if err != nil {
+			return nil, err
+		}
+		res.FullARI = append(res.FullARI, ariVsFull)
+		mig, err := metrics.ClusterMigrations(fullRestricted, fragLabels)
+		if err != nil {
+			return nil, err
+		}
+		res.Migrations = append(res.Migrations, mig)
+		moved, err := metrics.MigratedItems(fullRestricted, fragLabels)
+		if err != nil {
+			return nil, err
+		}
+		res.MigratedUsers = append(res.MigratedUsers, moved)
+
+		// Cophenetic correlation over shared users.
+		corr, err := copheneticAgreement(fullCoph, res.Full.Users, frag)
+		if err != nil {
+			return nil, err
+		}
+		res.CopheneticCorr = append(res.CopheneticCorr, corr)
+	}
+	return res, nil
+}
+
+func clusterFigure(label string, points []dataset.GPSPoint, k int) (*GPSFigure, error) {
+	vectors, users := dataset.UserFeatureVectors(points)
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("experiments: no users visible in %s", label)
+	}
+	dg, err := mining.ClusterPoints(vectors, mining.AverageLinkage)
+	if err != nil {
+		return nil, err
+	}
+	if k > len(users) {
+		k = len(users)
+	}
+	labels, err := dg.Cut(k)
+	if err != nil {
+		return nil, err
+	}
+	return &GPSFigure{
+		Label:        label,
+		Observations: len(points),
+		Users:        users,
+		Dendrogram:   dg,
+		LeafOrder:    dg.LeafOrder(),
+		Labels:       labels,
+	}, nil
+}
+
+// restrictLabels aligns two clusterings on their common user set.
+func restrictLabels(usersA []int, labelsA []int, usersB []int, labelsB []int) (a, b []int) {
+	posA := map[int]int{}
+	for i, u := range usersA {
+		posA[u] = i
+	}
+	for j, u := range usersB {
+		if i, ok := posA[u]; ok {
+			a = append(a, labelsA[i])
+			b = append(b, labelsB[j])
+		}
+	}
+	return a, b
+}
+
+func copheneticAgreement(fullCoph [][]float64, fullUsers []int, frag *GPSFigure) (float64, error) {
+	posFull := map[int]int{}
+	for i, u := range fullUsers {
+		posFull[u] = i
+	}
+	fragCoph := frag.Dendrogram.CopheneticDistances()
+	var xs, ys []float64
+	for i := 0; i < len(frag.Users); i++ {
+		fi, ok := posFull[frag.Users[i]]
+		if !ok {
+			continue
+		}
+		for j := i + 1; j < len(frag.Users); j++ {
+			fj, ok := posFull[frag.Users[j]]
+			if !ok {
+				continue
+			}
+			xs = append(xs, fullCoph[fi][fj])
+			ys = append(ys, fragCoph[i][j])
+		}
+	}
+	if len(xs) == 0 {
+		return 0, nil
+	}
+	return metrics.Pearson(xs, ys)
+}
+
+// FormatGPSFigures renders the three dendrograms and the agreement
+// statistics.
+func FormatGPSFigures(r *GPSFiguresResult) string {
+	var b strings.Builder
+	writeFig := func(fig *GPSFigure) {
+		fmt.Fprintf(&b, "%s — %d observations, %d users\n", fig.Label, fig.Observations, len(fig.Users))
+		order := make([]string, len(fig.LeafOrder))
+		for i, o := range fig.LeafOrder {
+			order[i] = fmt.Sprintf("%d", fig.Users[o]+1)
+		}
+		fmt.Fprintf(&b, "  leaf order: %s\n", strings.Join(order, " "))
+		hs := fig.Dendrogram.MergeHeights()
+		if len(hs) > 0 {
+			fmt.Fprintf(&b, "  merge heights: min=%.4f max=%.4f\n", hs[0], hs[len(hs)-1])
+		}
+	}
+	writeFig(&r.Full)
+	for i := range r.Fragments {
+		writeFig(&r.Fragments[i])
+	}
+	b.WriteString("\nAgreement with planted groups (adjusted Rand index):\n")
+	labels := []string{"full", "fragment1", "fragment2"}
+	for i, ari := range r.TruthARI {
+		fmt.Fprintf(&b, "  %-10s ARI=%.3f\n", labels[i], ari)
+	}
+	b.WriteString("\nFragment vs full clustering (the paper's 'entities moved'):\n")
+	for i := range r.Fragments {
+		fmt.Fprintf(&b, "  fragment%d: ARI=%.3f, changed pairs=%d, migrated users=%d, cophenetic corr=%.3f\n",
+			i+1, r.FullARI[i], r.Migrations[i], r.MigratedUsers[i], r.CopheneticCorr[i])
+	}
+	return b.String()
+}
+
+// GPSDendrogramASCII renders one figure's full tree (used by the
+// benchrunner's verbose mode).
+func GPSDendrogramASCII(fig *GPSFigure) string {
+	return fig.Dendrogram.ASCII(func(obs int) string {
+		return fmt.Sprintf("user%02d", fig.Users[obs]+1)
+	})
+}

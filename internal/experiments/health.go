@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/privacy"
+	"repro/internal/provider"
+)
+
+// HealthPoint reports prediction-attack quality for one attacker scope.
+type HealthPoint struct {
+	Scope         string
+	RowsRecovered int
+	Accuracy      float64
+	Failed        bool
+}
+
+// HealthPredictionExperiment uploads a synthetic patient cohort once to a
+// single provider and once fragmented across nProviders, then scores the
+// risk-prediction attack for the whole-data adversary and each insider —
+// the paper's health-privacy motivation made measurable.
+func HealthPredictionExperiment(cfg dataset.HealthConfig, nProviders int) ([]HealthPoint, float64, error) {
+	recs, err := dataset.GenerateHealthRecords(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Train/holdout split: the cloud stores the training records; the
+	// attack is scored on the held-out patients.
+	split := len(recs) * 3 / 4
+	train, holdout := recs[:split], recs[split:]
+	body := dataset.HealthCSV(train)
+
+	// Majority-class baseline accuracy: an attacker with no data at all.
+	low := 0
+	for _, r := range holdout {
+		if r.Risk == "low" {
+			low++
+		}
+	}
+	baseline := float64(low) / float64(len(holdout))
+	if baseline < 0.5 {
+		baseline = 1 - baseline
+	}
+
+	score := func(scope string, blobs []attack.Blob) HealthPoint {
+		res := attack.HealthPredictionAttack(blobs, holdout)
+		p := HealthPoint{Scope: scope, RowsRecovered: res.RowsRecovered, Accuracy: res.Accuracy}
+		if res.FitErr != nil {
+			p.Failed = true
+		}
+		return p
+	}
+
+	solo, err := provider.NewFleet(provider.MustNew(provider.Info{Name: "solo", PL: privacy.High, CL: 0}, provider.Options{}))
+	if err != nil {
+		return nil, 0, err
+	}
+	ds, err := core.New(core.Config{Fleet: solo, StripeWidth: 1})
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := seedAndUpload(ds, "hospital", "patients.csv", body, privacy.Public, core.UploadOptions{NoParity: true}); err != nil {
+		return nil, 0, err
+	}
+	soloBlobs, err := attack.DumpProviders(solo, []int{0})
+	if err != nil {
+		return nil, 0, err
+	}
+	out := []HealthPoint{score("full", soloBlobs)}
+
+	fleet, err := BuildFleet(nProviders, provider.LatencyModel{})
+	if err != nil {
+		return nil, 0, err
+	}
+	policy := privacy.ChunkSizePolicy{SizeByLevel: map[privacy.Level]int{
+		privacy.Public: 1 << 10, privacy.Low: 1 << 10, privacy.Moderate: 512, privacy.High: 256,
+	}}
+	dd, err := core.New(core.Config{Fleet: fleet, ChunkPolicy: policy, StripeWidth: nProviders})
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := seedAndUpload(dd, "hospital", "patients.csv", body, privacy.High, core.UploadOptions{NoParity: true}); err != nil {
+		return nil, 0, err
+	}
+	for i := 0; i < fleet.Len(); i++ {
+		blobs, err := attack.DumpProviders(fleet, []int{i})
+		if err != nil {
+			return nil, 0, err
+		}
+		p, _ := fleet.At(i)
+		out = append(out, score(p.Info().Name, blobs))
+	}
+	return out, baseline, nil
+}
+
+// FormatHealthExperiment renders the prediction-attack comparison.
+func FormatHealthExperiment(points []HealthPoint, baseline float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "majority-class baseline accuracy: %.3f\n", baseline)
+	fmt.Fprintf(&b, "%-8s %10s %12s %8s\n", "scope", "rows", "accuracy", "failed")
+	for _, p := range points {
+		if p.Failed {
+			fmt.Fprintf(&b, "%-8s %10d %12s %8v\n", p.Scope, p.RowsRecovered, "-", true)
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %10d %12.3f %8v\n", p.Scope, p.RowsRecovered, p.Accuracy, false)
+	}
+	return b.String()
+}

@@ -1,0 +1,222 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", m.Rows, m.Cols)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	_, err := FromRows([][]float64{{1, 2}, {3}})
+	if !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m, err := FromRows(nil)
+	if err != nil || m.Rows != 0 || m.Cols != 0 {
+		t.Fatalf("FromRows(nil) = %v, %v", m, err)
+	}
+}
+
+func TestMustFromRowsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	MustFromRows([][]float64{{1}, {2, 3}})
+}
+
+func TestAtSetRowCol(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At(1,2) = %v, want 7", m.At(1, 2))
+	}
+	r := m.Row(1)
+	if r[2] != 7 || len(r) != 3 {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	c := m.Col(2)
+	if c[1] != 7 || len(c) != 2 {
+		t.Fatalf("Col(2) = %v", c)
+	}
+	// Row/Col must be copies.
+	r[0] = 99
+	c[0] = 99
+	if m.At(1, 0) != 0 || m.At(0, 2) != 0 {
+		t.Fatal("Row/Col returned aliased memory")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MustFromRows([][]float64{{5, 6}, {7, 8}})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustFromRows([][]float64{{19, 22}, {43, 50}})
+	if !got.Equal(want, 1e-12) {
+		t.Fatalf("Mul =\n%v, want\n%v", got, want)
+	}
+}
+
+func TestMulShapeError(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got, err := a.MulVec([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 6 || got[1] != 15 {
+		t.Fatalf("MulVec = %v, want [6 15]", got)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MustFromRows([][]float64{{4, 3}, {2, 1}})
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Equal(MustFromRows([][]float64{{5, 5}, {5, 5}}), 0) {
+		t.Fatalf("Add = %v", sum)
+	}
+	diff, err := a.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Equal(MustFromRows([][]float64{{-3, -1}, {1, 3}}), 0) {
+		t.Fatalf("Sub = %v", diff)
+	}
+	sc := a.Scale(2)
+	if !sc.Equal(MustFromRows([][]float64{{2, 4}, {6, 8}}), 0) {
+		t.Fatalf("Scale = %v", sc)
+	}
+	// Originals untouched.
+	if a.At(0, 0) != 1 {
+		t.Fatal("Add/Sub/Scale mutated the receiver")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(4, 7)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	if !a.T().T().Equal(a, 0) {
+		t.Fatal("(Aᵀ)ᵀ != A")
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewMatrix(5, 5)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	ia, _ := Identity(5).Mul(a)
+	ai, _ := a.Mul(Identity(5))
+	if !ia.Equal(a, 1e-12) || !ai.Equal(a, 1e-12) {
+		t.Fatal("identity multiplication changed matrix")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 2}})
+	c := a.Clone()
+	c.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares backing storage")
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	a := MustFromRows([][]float64{{3, 4}})
+	if got := a.Norm2(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+}
+
+func TestStringContainsValues(t *testing.T) {
+	s := MustFromRows([][]float64{{1.5}}).String()
+	if len(s) == 0 {
+		t.Fatal("String() empty")
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ for random small matrices.
+func TestMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := NewMatrix(m, k)
+		b := NewMatrix(k, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		ab, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		btat, err := b.T().Mul(a.T())
+		if err != nil {
+			return false
+		}
+		return ab.T().Equal(btat, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matrix addition commutes.
+func TestAddCommutesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(5), 1+rng.Intn(5)
+		a, b := NewMatrix(m, n), NewMatrix(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+			b.Data[i] = rng.NormFloat64()
+		}
+		ab, _ := a.Add(b)
+		ba, _ := b.Add(a)
+		return ab.Equal(ba, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

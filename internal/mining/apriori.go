@@ -1,0 +1,269 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Transaction is one market basket: a set of item identifiers. The paper
+// names association-rule mining over "business transaction records" as a
+// privacy threat; Apriori is the canonical algorithm.
+type Transaction []string
+
+// ItemSet is a sorted, deduplicated set of items.
+type ItemSet []string
+
+func (s ItemSet) String() string { return "{" + strings.Join(s, ",") + "}" }
+
+// Key returns a canonical map key for the set.
+func (s ItemSet) Key() string { return strings.Join(s, "\x00") }
+
+// Rule is an association rule A → B with its support and confidence.
+type Rule struct {
+	Antecedent ItemSet
+	Consequent ItemSet
+	Support    float64 // fraction of transactions containing A ∪ B
+	Confidence float64 // support(A ∪ B) / support(A)
+	Lift       float64 // confidence / support(B)
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("%v => %v (sup=%.3f conf=%.3f lift=%.2f)", r.Antecedent, r.Consequent, r.Support, r.Confidence, r.Lift)
+}
+
+// FrequentItemSet pairs an itemset with its support.
+type FrequentItemSet struct {
+	Items   ItemSet
+	Support float64
+}
+
+// Apriori mines frequent itemsets at the given minimum support (a fraction
+// in (0,1]) and derives rules at the given minimum confidence.
+func Apriori(txns []Transaction, minSupport, minConfidence float64) ([]FrequentItemSet, []Rule, error) {
+	if len(txns) == 0 {
+		return nil, nil, errNoObservations
+	}
+	if minSupport <= 0 || minSupport > 1 {
+		return nil, nil, fmt.Errorf("mining: minSupport %v out of (0,1]", minSupport)
+	}
+	if minConfidence < 0 || minConfidence > 1 {
+		return nil, nil, fmt.Errorf("mining: minConfidence %v out of [0,1]", minConfidence)
+	}
+	n := float64(len(txns))
+	minCount := int(minSupport*n + 0.999999) // ceil without importing math for ints
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	// Normalize transactions into sorted unique item slices.
+	norm := make([][]string, len(txns))
+	for i, t := range txns {
+		seen := map[string]bool{}
+		var items []string
+		for _, it := range t {
+			if !seen[it] {
+				seen[it] = true
+				items = append(items, it)
+			}
+		}
+		sort.Strings(items)
+		norm[i] = items
+	}
+
+	counts := map[string]int{}
+	sets := map[string]ItemSet{}
+
+	// L1: frequent single items.
+	for _, t := range norm {
+		for _, it := range t {
+			s := ItemSet{it}
+			counts[s.Key()]++
+			sets[s.Key()] = s
+		}
+	}
+	var frequent []FrequentItemSet
+	level := make([]ItemSet, 0)
+	for k, c := range counts {
+		if c >= minCount {
+			level = append(level, sets[k])
+			frequent = append(frequent, FrequentItemSet{Items: sets[k], Support: float64(c) / n})
+		}
+	}
+	sortItemSets(level)
+	allCounts := map[string]int{}
+	for k, c := range counts {
+		allCounts[k] = c
+	}
+
+	// Iteratively extend.
+	for len(level) > 0 {
+		candidates := generateCandidates(level)
+		if len(candidates) == 0 {
+			break
+		}
+		levelCounts := map[string]int{}
+		candBySet := map[string]ItemSet{}
+		for _, c := range candidates {
+			candBySet[c.Key()] = c
+		}
+		for _, t := range norm {
+			for key, c := range candBySet {
+				if containsAll(t, c) {
+					levelCounts[key]++
+				}
+			}
+		}
+		next := make([]ItemSet, 0)
+		for key, cnt := range levelCounts {
+			if cnt >= minCount {
+				next = append(next, candBySet[key])
+				frequent = append(frequent, FrequentItemSet{Items: candBySet[key], Support: float64(cnt) / n})
+				allCounts[key] = cnt
+			}
+		}
+		sortItemSets(next)
+		level = next
+	}
+
+	// Rule generation: for each frequent itemset of size ≥ 2, split into
+	// every antecedent/consequent partition.
+	supportOf := func(s ItemSet) float64 {
+		if c, ok := allCounts[s.Key()]; ok {
+			return float64(c) / n
+		}
+		// Count directly (infrequent subsets are still needed for lift).
+		cnt := 0
+		for _, t := range norm {
+			if containsAll(t, s) {
+				cnt++
+			}
+		}
+		allCounts[s.Key()] = cnt
+		return float64(cnt) / n
+	}
+
+	var rules []Rule
+	for _, fi := range frequent {
+		if len(fi.Items) < 2 {
+			continue
+		}
+		for mask := 1; mask < (1<<len(fi.Items))-1; mask++ {
+			var ant, con ItemSet
+			for i, it := range fi.Items {
+				if mask&(1<<i) != 0 {
+					ant = append(ant, it)
+				} else {
+					con = append(con, it)
+				}
+			}
+			sa := supportOf(ant)
+			if sa == 0 {
+				continue
+			}
+			conf := fi.Support / sa
+			if conf+1e-12 < minConfidence {
+				continue
+			}
+			sc := supportOf(con)
+			lift := 0.0
+			if sc > 0 {
+				lift = conf / sc
+			}
+			rules = append(rules, Rule{Antecedent: ant, Consequent: con, Support: fi.Support, Confidence: conf, Lift: lift})
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Confidence != rules[j].Confidence {
+			return rules[i].Confidence > rules[j].Confidence
+		}
+		return rules[i].String() < rules[j].String()
+	})
+	sort.Slice(frequent, func(i, j int) bool {
+		if len(frequent[i].Items) != len(frequent[j].Items) {
+			return len(frequent[i].Items) < len(frequent[j].Items)
+		}
+		return frequent[i].Items.Key() < frequent[j].Items.Key()
+	})
+	return frequent, rules, nil
+}
+
+func sortItemSets(sets []ItemSet) {
+	sort.Slice(sets, func(i, j int) bool { return sets[i].Key() < sets[j].Key() })
+}
+
+// generateCandidates joins k-sets sharing a (k-1)-prefix, Apriori style.
+func generateCandidates(level []ItemSet) []ItemSet {
+	var out []ItemSet
+	seen := map[string]bool{}
+	freq := map[string]bool{}
+	for _, s := range level {
+		freq[s.Key()] = true
+	}
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			k := len(a)
+			if !samePrefix(a, b, k-1) {
+				continue
+			}
+			merged := make(ItemSet, k+1)
+			copy(merged, a)
+			merged[k] = b[k-1]
+			if merged[k-1] > merged[k] {
+				merged[k-1], merged[k] = merged[k], merged[k-1]
+			}
+			key := merged.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			// Prune: all k-subsets must be frequent.
+			if allSubsetsFrequent(merged, freq) {
+				out = append(out, merged)
+			}
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b ItemSet, k int) bool {
+	for i := 0; i < k; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func allSubsetsFrequent(s ItemSet, freq map[string]bool) bool {
+	sub := make(ItemSet, 0, len(s)-1)
+	for skip := range s {
+		sub = sub[:0]
+		for i, it := range s {
+			if i != skip {
+				sub = append(sub, it)
+			}
+		}
+		if !freq[sub.Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+// containsAll reports whether sorted transaction t contains every item of
+// sorted set s.
+func containsAll(t []string, s ItemSet) bool {
+	i := 0
+	for _, item := range s {
+		for i < len(t) && t[i] < item {
+			i++
+		}
+		if i >= len(t) || t[i] != item {
+			return false
+		}
+		i++
+	}
+	return true
+}

@@ -1,0 +1,225 @@
+package mining
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func classicBaskets() []Transaction {
+	return []Transaction{
+		{"bread", "milk"},
+		{"bread", "diapers", "beer", "eggs"},
+		{"milk", "diapers", "beer", "cola"},
+		{"bread", "milk", "diapers", "beer"},
+		{"bread", "milk", "diapers", "cola"},
+	}
+}
+
+func TestAprioriFrequentItemsets(t *testing.T) {
+	freq, _, err := Apriori(classicBaskets(), 0.6, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	for _, f := range freq {
+		got[f.Items.String()] = f.Support
+	}
+	// bread appears in 4/5, milk 4/5, diapers 4/5, beer 3/5.
+	for _, item := range []string{"{bread}", "{milk}", "{diapers}", "{beer}"} {
+		if _, ok := got[item]; !ok {
+			t.Fatalf("missing frequent itemset %s in %v", item, got)
+		}
+	}
+	if got["{beer,diapers}"] != 0.6 {
+		t.Fatalf("sup{beer,diapers} = %v, want 0.6", got["{beer,diapers}"])
+	}
+	if _, ok := got["{cola}"]; ok {
+		t.Fatal("cola (2/5) should not be frequent at 0.6")
+	}
+}
+
+func TestAprioriRules(t *testing.T) {
+	_, rules, err := Apriori(classicBaskets(), 0.6, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// beer → diapers has confidence 3/3 = 1.0.
+	found := false
+	for _, r := range rules {
+		if r.Antecedent.String() == "{beer}" && r.Consequent.String() == "{diapers}" {
+			found = true
+			if r.Confidence < 0.999 {
+				t.Fatalf("conf(beer→diapers) = %v, want 1.0", r.Confidence)
+			}
+			if r.Support != 0.6 {
+				t.Fatalf("sup = %v, want 0.6", r.Support)
+			}
+			if r.Lift < 1.24 || r.Lift > 1.26 { // 1.0 / 0.8
+				t.Fatalf("lift = %v, want 1.25", r.Lift)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("beer→diapers missing from %v", rules)
+	}
+}
+
+func TestAprioriDuplicateItemsInTransaction(t *testing.T) {
+	txns := []Transaction{{"a", "a", "b"}, {"a", "b"}}
+	freq, _, err := Apriori(txns, 1.0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range freq {
+		if f.Items.String() == "{a}" && f.Support != 1.0 {
+			t.Fatalf("duplicate items double-counted: %v", f)
+		}
+	}
+}
+
+func TestAprioriParamValidation(t *testing.T) {
+	txns := classicBaskets()
+	if _, _, err := Apriori(nil, 0.5, 0.5); err == nil {
+		t.Fatal("expected error on empty txns")
+	}
+	if _, _, err := Apriori(txns, 0, 0.5); err == nil {
+		t.Fatal("expected error on minSupport=0")
+	}
+	if _, _, err := Apriori(txns, 1.5, 0.5); err == nil {
+		t.Fatal("expected error on minSupport>1")
+	}
+	if _, _, err := Apriori(txns, 0.5, -0.1); err == nil {
+		t.Fatal("expected error on negative confidence")
+	}
+	if _, _, err := Apriori(txns, 0.5, 1.1); err == nil {
+		t.Fatal("expected error on confidence>1")
+	}
+}
+
+func TestAprioriTripleItemset(t *testing.T) {
+	txns := []Transaction{
+		{"a", "b", "c"}, {"a", "b", "c"}, {"a", "b", "c"}, {"d"},
+	}
+	freq, rules, err := Apriori(txns, 0.7, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range freq {
+		if f.Items.String() == "{a,b,c}" {
+			found = true
+			if f.Support != 0.75 {
+				t.Fatalf("sup{a,b,c} = %v, want 0.75", f.Support)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("3-itemset {a,b,c} not found")
+	}
+	// Rule {a,b} → {c} should exist with confidence 1.
+	foundRule := false
+	for _, r := range rules {
+		if r.Antecedent.String() == "{a,b}" && r.Consequent.String() == "{c}" {
+			foundRule = true
+			if r.Confidence < 0.999 {
+				t.Fatalf("conf = %v", r.Confidence)
+			}
+		}
+	}
+	if !foundRule {
+		t.Fatalf("{a,b}→{c} missing from %v", rules)
+	}
+}
+
+func TestContainsAll(t *testing.T) {
+	txn := []string{"a", "c", "e"}
+	if !containsAll(txn, ItemSet{"a", "e"}) {
+		t.Fatal("containsAll false negative")
+	}
+	if containsAll(txn, ItemSet{"a", "b"}) {
+		t.Fatal("containsAll false positive")
+	}
+	if !containsAll(txn, ItemSet{}) {
+		t.Fatal("empty set should be contained")
+	}
+}
+
+// Property: every reported frequent itemset really meets min support, and
+// every subset of a frequent itemset is also frequent (anti-monotonicity).
+func TestAprioriSoundnessProperty(t *testing.T) {
+	items := []string{"a", "b", "c", "d", "e"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		txns := make([]Transaction, n)
+		for i := range txns {
+			var t Transaction
+			for _, it := range items {
+				if rng.Float64() < 0.5 {
+					t = append(t, it)
+				}
+			}
+			if len(t) == 0 {
+				t = Transaction{"a"}
+			}
+			txns[i] = t
+		}
+		minSup := 0.3
+		freq, rules, err := Apriori(txns, minSup, 0.6)
+		if err != nil {
+			return false
+		}
+		keys := map[string]bool{}
+		for _, fi := range freq {
+			keys[fi.Items.Key()] = true
+			// Verify support by direct count.
+			cnt := 0
+			for _, txn := range txns {
+				sorted := append([]string(nil), txn...)
+				sortStrings(sorted)
+				if containsAll(sorted, fi.Items) {
+					cnt++
+				}
+			}
+			if float64(cnt)/float64(n) < minSup-1e-9 {
+				return false
+			}
+		}
+		// Anti-monotonicity: all (k-1)-subsets of frequent sets frequent.
+		for _, fi := range freq {
+			if len(fi.Items) < 2 {
+				continue
+			}
+			for skip := range fi.Items {
+				var sub ItemSet
+				for i, it := range fi.Items {
+					if i != skip {
+						sub = append(sub, it)
+					}
+				}
+				if !keys[sub.Key()] {
+					return false
+				}
+			}
+		}
+		// Rules meet the confidence floor.
+		for _, r := range rules {
+			if r.Confidence < 0.6-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

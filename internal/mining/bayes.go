@@ -1,0 +1,115 @@
+package mining
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GaussianNB is a Gaussian naive-Bayes classifier — the repository's
+// second "prediction algorithm" (after k-NN) for the paper's claim that
+// prediction over fragments "may reveal misleading results as they lack
+// numbers of observations". It models each feature as class-conditionally
+// normal.
+type GaussianNB struct {
+	classes []string
+	priors  map[string]float64
+	means   map[string][]float64
+	vars    map[string][]float64
+	dim     int
+}
+
+// TrainGaussianNB fits the classifier on labelled observations.
+func TrainGaussianNB(points [][]float64, labels []string) (*GaussianNB, error) {
+	if len(points) == 0 {
+		return nil, errNoObservations
+	}
+	if len(points) != len(labels) {
+		return nil, fmt.Errorf("mining: %d points but %d labels", len(points), len(labels))
+	}
+	dim := len(points[0])
+	byClass := map[string][][]float64{}
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("mining: point %d has %d dims, want %d", i, len(p), dim)
+		}
+		byClass[labels[i]] = append(byClass[labels[i]], p)
+	}
+	nb := &GaussianNB{
+		priors: map[string]float64{},
+		means:  map[string][]float64{},
+		vars:   map[string][]float64{},
+		dim:    dim,
+	}
+	n := float64(len(points))
+	for class, pts := range byClass {
+		nb.classes = append(nb.classes, class)
+		nb.priors[class] = float64(len(pts)) / n
+		mean := make([]float64, dim)
+		for _, p := range pts {
+			for j, v := range p {
+				mean[j] += v
+			}
+		}
+		for j := range mean {
+			mean[j] /= float64(len(pts))
+		}
+		variance := make([]float64, dim)
+		for _, p := range pts {
+			for j, v := range p {
+				d := v - mean[j]
+				variance[j] += d * d
+			}
+		}
+		for j := range variance {
+			variance[j] = variance[j]/float64(len(pts)) + 1e-9 // smoothing
+		}
+		nb.means[class] = mean
+		nb.vars[class] = variance
+	}
+	sort.Strings(nb.classes)
+	return nb, nil
+}
+
+// Classes returns the label set in sorted order.
+func (nb *GaussianNB) Classes() []string {
+	return append([]string(nil), nb.classes...)
+}
+
+// Predict returns the maximum-posterior class for one observation.
+func (nb *GaussianNB) Predict(x []float64) (string, error) {
+	if len(x) != nb.dim {
+		return "", fmt.Errorf("mining: query has %d dims, model has %d", len(x), nb.dim)
+	}
+	best, bestLP := "", math.Inf(-1)
+	for _, class := range nb.classes {
+		lp := math.Log(nb.priors[class])
+		mean, variance := nb.means[class], nb.vars[class]
+		for j, v := range x {
+			d := v - mean[j]
+			lp += -0.5*math.Log(2*math.Pi*variance[j]) - d*d/(2*variance[j])
+		}
+		if lp > bestLP {
+			best, bestLP = class, lp
+		}
+	}
+	return best, nil
+}
+
+// Accuracy scores the model on a labelled test set.
+func (nb *GaussianNB) Accuracy(points [][]float64, labels []string) (float64, error) {
+	if len(points) != len(labels) || len(points) == 0 {
+		return 0, fmt.Errorf("mining: accuracy needs equal non-empty sets (got %d, %d)", len(points), len(labels))
+	}
+	correct := 0
+	for i, p := range points {
+		got, err := nb.Predict(p)
+		if err != nil {
+			return 0, err
+		}
+		if got == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(points)), nil
+}

@@ -1,0 +1,107 @@
+package mining
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func bayesBlobs(n int, rng *rand.Rand) ([][]float64, []string) {
+	var x [][]float64
+	var y []string
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			x = append(x, []float64{rng.NormFloat64(), rng.NormFloat64()})
+			y = append(y, "a")
+		} else {
+			x = append(x, []float64{6 + rng.NormFloat64(), 6 + rng.NormFloat64()})
+			y = append(y, "b")
+		}
+	}
+	return x, y
+}
+
+func TestGaussianNBSeparableClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := bayesBlobs(200, rng)
+	nb, err := TrainGaussianNB(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nb.Classes(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Classes = %v", got)
+	}
+	tx, ty := bayesBlobs(100, rng)
+	acc, err := nb.Accuracy(tx, ty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.98 {
+		t.Fatalf("accuracy = %v on separable data", acc)
+	}
+}
+
+func TestGaussianNBValidation(t *testing.T) {
+	if _, err := TrainGaussianNB(nil, nil); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	if _, err := TrainGaussianNB([][]float64{{1}}, []string{"a", "b"}); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, err := TrainGaussianNB([][]float64{{1}, {1, 2}}, []string{"a", "b"}); err == nil {
+		t.Fatal("ragged points accepted")
+	}
+}
+
+func TestGaussianNBPredictValidation(t *testing.T) {
+	nb, err := TrainGaussianNB([][]float64{{0, 0}, {5, 5}}, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nb.Predict([]float64{1}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := nb.Accuracy(nil, nil); err == nil {
+		t.Fatal("empty test set accepted")
+	}
+}
+
+func TestGaussianNBPriorsMatter(t *testing.T) {
+	// Heavily imbalanced classes with overlapping features: the prior
+	// should pull ambiguous points toward the majority class.
+	var x [][]float64
+	var y []string
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 95; i++ {
+		x = append(x, []float64{rng.NormFloat64()})
+		y = append(y, "common")
+	}
+	for i := 0; i < 5; i++ {
+		x = append(x, []float64{0.5 + rng.NormFloat64()})
+		y = append(y, "rare")
+	}
+	nb, err := TrainGaussianNB(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := nb.Predict([]float64{0.25}) // ambiguous midpoint
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "common" {
+		t.Fatalf("prior ignored: predicted %q", got)
+	}
+}
+
+func TestGaussianNBZeroVarianceFeature(t *testing.T) {
+	// Constant features must not produce NaNs (variance smoothing).
+	x := [][]float64{{1, 0}, {1, 1}, {1, 5}, {1, 6}}
+	y := []string{"a", "a", "b", "b"}
+	nb, err := TrainGaussianNB(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := nb.Predict([]float64{1, 5.5})
+	if err != nil || got != "b" {
+		t.Fatalf("Predict = %q, %v", got, err)
+	}
+}

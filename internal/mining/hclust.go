@@ -1,0 +1,320 @@
+package mining
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Linkage selects how inter-cluster distance is computed during
+// agglomerative clustering.
+type Linkage int
+
+const (
+	// SingleLinkage merges on minimum pairwise distance.
+	SingleLinkage Linkage = iota
+	// CompleteLinkage merges on maximum pairwise distance.
+	CompleteLinkage
+	// AverageLinkage merges on mean pairwise distance (UPGMA — what
+	// MATLAB's default dendrogram pipeline in the paper effectively shows).
+	AverageLinkage
+)
+
+func (l Linkage) String() string {
+	switch l {
+	case SingleLinkage:
+		return "single"
+	case CompleteLinkage:
+		return "complete"
+	case AverageLinkage:
+		return "average"
+	default:
+		return fmt.Sprintf("Linkage(%d)", int(l))
+	}
+}
+
+// DendrogramNode is one merge in the hierarchical binary cluster tree. A
+// leaf has Left == Right == nil and Obs set; an internal node records the
+// merge Height (the linkage distance at which its children joined).
+type DendrogramNode struct {
+	Obs    int // observation index, valid only for leaves
+	Left   *DendrogramNode
+	Right  *DendrogramNode
+	Height float64
+	Size   int // number of leaves under this node
+}
+
+// IsLeaf reports whether the node is an original observation.
+func (n *DendrogramNode) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Dendrogram is the full hierarchical binary cluster tree over n
+// observations, the structure Figs. 4–6 plot.
+type Dendrogram struct {
+	Root *DendrogramNode
+	N    int
+	// Merges lists internal nodes in merge order (ascending height order
+	// of construction), mirroring MATLAB's linkage output matrix.
+	Merges []*DendrogramNode
+}
+
+var errNoObservations = errors.New("mining: hierarchical clustering needs at least one observation")
+
+// EuclideanDistanceMatrix computes the n×n condensed pairwise distance
+// matrix for rows of points.
+func EuclideanDistanceMatrix(points [][]float64) ([][]float64, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errNoObservations
+	}
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		if len(points[i]) != len(points[0]) {
+			return nil, fmt.Errorf("mining: point %d has %d dims, want %d", i, len(points[i]), len(points[0]))
+		}
+		for j := i + 1; j < n; j++ {
+			s := 0.0
+			for k := range points[i] {
+				dv := points[i][k] - points[j][k]
+				s += dv * dv
+			}
+			v := math.Sqrt(s)
+			d[i][j] = v
+			d[j][i] = v
+		}
+	}
+	return d, nil
+}
+
+// HierarchicalCluster builds the binary cluster tree over the given
+// distance matrix with the chosen linkage, using the Lance–Williams
+// update so the whole clustering runs in O(n²·n) worst case — fine for the
+// paper's 30-user scale and our benchmark sweeps.
+func HierarchicalCluster(dist [][]float64, linkage Linkage) (*Dendrogram, error) {
+	n := len(dist)
+	if n == 0 {
+		return nil, errNoObservations
+	}
+	for i := range dist {
+		if len(dist[i]) != n {
+			return nil, fmt.Errorf("mining: distance matrix row %d has %d entries, want %d", i, len(dist[i]), n)
+		}
+	}
+
+	// Working copy of distances between active clusters.
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		copy(d[i], dist[i])
+	}
+	nodes := make([]*DendrogramNode, n)
+	active := make([]bool, n)
+	sizes := make([]int, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = &DendrogramNode{Obs: i, Size: 1}
+		active[i] = true
+		sizes[i] = 1
+	}
+
+	dg := &Dendrogram{N: n}
+	remaining := n
+	for remaining > 1 {
+		// Find the closest active pair.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if d[i][j] < best {
+					bi, bj, best = i, j, d[i][j]
+				}
+			}
+		}
+		merged := &DendrogramNode{
+			Left:   nodes[bi],
+			Right:  nodes[bj],
+			Height: best,
+			Size:   sizes[bi] + sizes[bj],
+		}
+		dg.Merges = append(dg.Merges, merged)
+
+		// Lance–Williams update: new cluster lives in slot bi.
+		for k := 0; k < n; k++ {
+			if !active[k] || k == bi || k == bj {
+				continue
+			}
+			var nd float64
+			switch linkage {
+			case SingleLinkage:
+				nd = math.Min(d[bi][k], d[bj][k])
+			case CompleteLinkage:
+				nd = math.Max(d[bi][k], d[bj][k])
+			case AverageLinkage:
+				wi, wj := float64(sizes[bi]), float64(sizes[bj])
+				nd = (wi*d[bi][k] + wj*d[bj][k]) / (wi + wj)
+			default:
+				return nil, fmt.Errorf("mining: unknown linkage %v", linkage)
+			}
+			d[bi][k] = nd
+			d[k][bi] = nd
+		}
+		nodes[bi] = merged
+		sizes[bi] += sizes[bj]
+		active[bj] = false
+		remaining--
+	}
+	for i := 0; i < n; i++ {
+		if active[i] {
+			dg.Root = nodes[i]
+			break
+		}
+	}
+	return dg, nil
+}
+
+// ClusterPoints is a convenience wrapper: Euclidean distances + clustering.
+func ClusterPoints(points [][]float64, linkage Linkage) (*Dendrogram, error) {
+	d, err := EuclideanDistanceMatrix(points)
+	if err != nil {
+		return nil, err
+	}
+	return HierarchicalCluster(d, linkage)
+}
+
+// Cut slices the tree at the level that yields k clusters and returns the
+// cluster label of each observation (labels are 0..k-1, assigned in leaf
+// order of first appearance).
+func (dg *Dendrogram) Cut(k int) ([]int, error) {
+	if k < 1 || k > dg.N {
+		return nil, fmt.Errorf("mining: cut into %d clusters of %d observations", k, dg.N)
+	}
+	// Start from the root and repeatedly split the cluster whose merge
+	// height is largest until we hold k subtrees.
+	roots := []*DendrogramNode{dg.Root}
+	for len(roots) < k {
+		// Pick the internal node with the greatest height.
+		idx, best := -1, math.Inf(-1)
+		for i, r := range roots {
+			if !r.IsLeaf() && r.Height > best {
+				idx, best = i, r.Height
+			}
+		}
+		if idx < 0 {
+			break // all leaves; can't split further
+		}
+		n := roots[idx]
+		roots = append(roots[:idx], roots[idx+1:]...)
+		roots = append(roots, n.Left, n.Right)
+	}
+	labels := make([]int, dg.N)
+	for i := range labels {
+		labels[i] = -1
+	}
+	for ci, r := range roots {
+		assignLabels(r, ci, labels)
+	}
+	return labels, nil
+}
+
+func assignLabels(n *DendrogramNode, label int, labels []int) {
+	if n.IsLeaf() {
+		labels[n.Obs] = label
+		return
+	}
+	assignLabels(n.Left, label, labels)
+	assignLabels(n.Right, label, labels)
+}
+
+// LeafOrder returns observation indices in left-to-right dendrogram order —
+// the x-axis ordering of the paper's dendrogram plots.
+func (dg *Dendrogram) LeafOrder() []int {
+	var order []int
+	var walk func(n *DendrogramNode)
+	walk = func(n *DendrogramNode) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			order = append(order, n.Obs)
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(dg.Root)
+	return order
+}
+
+// CopheneticDistances returns the n×n matrix of cophenetic distances (the
+// height at which two observations first share a cluster). Used to compare
+// full-data vs fragment dendrograms quantitatively.
+func (dg *Dendrogram) CopheneticDistances() [][]float64 {
+	c := make([][]float64, dg.N)
+	for i := range c {
+		c[i] = make([]float64, dg.N)
+	}
+	var walk func(n *DendrogramNode) []int
+	walk = func(n *DendrogramNode) []int {
+		if n.IsLeaf() {
+			return []int{n.Obs}
+		}
+		l := walk(n.Left)
+		r := walk(n.Right)
+		for _, a := range l {
+			for _, b := range r {
+				c[a][b] = n.Height
+				c[b][a] = n.Height
+			}
+		}
+		return append(l, r...)
+	}
+	if dg.Root != nil {
+		walk(dg.Root)
+	}
+	return c
+}
+
+// ASCII renders the dendrogram as indented text — the repository's stand-in
+// for the paper's MATLAB dendrogram plots. Leaves print as observation
+// indices (1-based like the paper's figures); internal nodes print their
+// merge heights.
+func (dg *Dendrogram) ASCII(labelOf func(obs int) string) string {
+	if labelOf == nil {
+		labelOf = func(obs int) string { return fmt.Sprintf("%d", obs+1) }
+	}
+	var b strings.Builder
+	var walk func(n *DendrogramNode, depth int)
+	walk = func(n *DendrogramNode, depth int) {
+		indent := strings.Repeat("  ", depth)
+		if n.IsLeaf() {
+			fmt.Fprintf(&b, "%s- %s\n", indent, labelOf(n.Obs))
+			return
+		}
+		fmt.Fprintf(&b, "%s+ h=%.4f (%d leaves)\n", indent, n.Height, n.Size)
+		walk(n.Left, depth+1)
+		walk(n.Right, depth+1)
+	}
+	if dg.Root != nil {
+		walk(dg.Root, 0)
+	}
+	return b.String()
+}
+
+// MergeHeights returns all internal merge heights sorted ascending — the
+// y-axis profile of the dendrogram plot.
+func (dg *Dendrogram) MergeHeights() []float64 {
+	hs := make([]float64, 0, len(dg.Merges))
+	for _, m := range dg.Merges {
+		hs = append(hs, m.Height)
+	}
+	sort.Float64s(hs)
+	return hs
+}

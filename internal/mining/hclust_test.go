@@ -1,0 +1,279 @@
+package mining
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// twoBlobs returns points in two well-separated groups of sizes n1, n2.
+func twoBlobs(n1, n2 int, rng *rand.Rand) [][]float64 {
+	var pts [][]float64
+	for i := 0; i < n1; i++ {
+		pts = append(pts, []float64{rng.NormFloat64() * 0.1, rng.NormFloat64() * 0.1})
+	}
+	for i := 0; i < n2; i++ {
+		pts = append(pts, []float64{10 + rng.NormFloat64()*0.1, 10 + rng.NormFloat64()*0.1})
+	}
+	return pts
+}
+
+func TestEuclideanDistanceMatrix(t *testing.T) {
+	pts := [][]float64{{0, 0}, {3, 4}}
+	d, err := EuclideanDistanceMatrix(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0][0] != 0 || d[1][1] != 0 {
+		t.Fatal("diagonal not zero")
+	}
+	if math.Abs(d[0][1]-5) > 1e-12 || math.Abs(d[1][0]-5) > 1e-12 {
+		t.Fatalf("d = %v, want 5 symmetric", d)
+	}
+}
+
+func TestEuclideanDistanceMatrixErrors(t *testing.T) {
+	if _, err := EuclideanDistanceMatrix(nil); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	if _, err := EuclideanDistanceMatrix([][]float64{{1}, {1, 2}}); err == nil {
+		t.Fatal("expected error on ragged dims")
+	}
+}
+
+func TestHierarchicalClusterSingleObservation(t *testing.T) {
+	dg, err := ClusterPoints([][]float64{{1, 2}}, AverageLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dg.Root.IsLeaf() || dg.Root.Obs != 0 || dg.N != 1 {
+		t.Fatalf("single-obs dendrogram wrong: %+v", dg.Root)
+	}
+}
+
+func TestHierarchicalClusterSeparatesBlobs(t *testing.T) {
+	for _, lk := range []Linkage{SingleLinkage, CompleteLinkage, AverageLinkage} {
+		rng := rand.New(rand.NewSource(5))
+		pts := twoBlobs(6, 6, rng)
+		dg, err := ClusterPoints(pts, lk)
+		if err != nil {
+			t.Fatalf("%v: %v", lk, err)
+		}
+		labels, err := dg.Cut(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// First 6 points must share a label; last 6 another.
+		for i := 1; i < 6; i++ {
+			if labels[i] != labels[0] {
+				t.Fatalf("%v: blob A split: %v", lk, labels)
+			}
+		}
+		for i := 7; i < 12; i++ {
+			if labels[i] != labels[6] {
+				t.Fatalf("%v: blob B split: %v", lk, labels)
+			}
+		}
+		if labels[0] == labels[6] {
+			t.Fatalf("%v: blobs merged: %v", lk, labels)
+		}
+	}
+}
+
+func TestDendrogramMergeCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := twoBlobs(5, 5, rng)
+	dg, err := ClusterPoints(pts, AverageLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dg.Merges) != 9 {
+		t.Fatalf("merges = %d, want n-1 = 9", len(dg.Merges))
+	}
+	if dg.Root.Size != 10 {
+		t.Fatalf("root size = %d, want 10", dg.Root.Size)
+	}
+}
+
+func TestCutBounds(t *testing.T) {
+	dg, _ := ClusterPoints([][]float64{{0}, {1}, {2}}, SingleLinkage)
+	if _, err := dg.Cut(0); err == nil {
+		t.Fatal("Cut(0) should error")
+	}
+	if _, err := dg.Cut(4); err == nil {
+		t.Fatal("Cut(n+1) should error")
+	}
+	labels, err := dg.Cut(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, l := range labels {
+		seen[l] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("Cut(3) produced %d labels: %v", len(seen), labels)
+	}
+}
+
+func TestCutOneCluster(t *testing.T) {
+	dg, _ := ClusterPoints([][]float64{{0}, {5}, {9}}, CompleteLinkage)
+	labels, err := dg.Cut(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range labels {
+		if l != 0 {
+			t.Fatalf("Cut(1) labels = %v", labels)
+		}
+	}
+}
+
+func TestLeafOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := twoBlobs(7, 4, rng)
+	dg, _ := ClusterPoints(pts, AverageLinkage)
+	order := dg.LeafOrder()
+	if len(order) != 11 {
+		t.Fatalf("leaf order length = %d", len(order))
+	}
+	seen := make([]bool, 11)
+	for _, o := range order {
+		if o < 0 || o >= 11 || seen[o] {
+			t.Fatalf("order not a permutation: %v", order)
+		}
+		seen[o] = true
+	}
+}
+
+func TestCopheneticDistances(t *testing.T) {
+	// Three colinear points: 0 at x=0, 1 at x=1, 2 at x=10.
+	dg, _ := ClusterPoints([][]float64{{0}, {1}, {10}}, SingleLinkage)
+	c := dg.CopheneticDistances()
+	// 0 and 1 merge first at height 1.
+	if math.Abs(c[0][1]-1) > 1e-12 {
+		t.Fatalf("coph(0,1) = %v, want 1", c[0][1])
+	}
+	// 2 joins at the root height (single linkage: distance 9 from point 1).
+	if math.Abs(c[0][2]-9) > 1e-12 || math.Abs(c[1][2]-9) > 1e-12 {
+		t.Fatalf("coph to 2 = %v/%v, want 9", c[0][2], c[1][2])
+	}
+	if c[0][0] != 0 {
+		t.Fatal("self-distance not zero")
+	}
+}
+
+func TestMergeHeightsMonotoneForCompleteLinkage(t *testing.T) {
+	// Complete/average linkage on metric data produce monotone dendrograms.
+	rng := rand.New(rand.NewSource(13))
+	pts := make([][]float64, 20)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	dg, _ := ClusterPoints(pts, CompleteLinkage)
+	hs := make([]float64, 0, len(dg.Merges))
+	for _, m := range dg.Merges {
+		hs = append(hs, m.Height)
+	}
+	for i := 1; i < len(hs); i++ {
+		if hs[i]+1e-9 < hs[i-1] {
+			t.Fatalf("merge heights not monotone: %v", hs)
+		}
+	}
+}
+
+func TestASCIIRendering(t *testing.T) {
+	dg, _ := ClusterPoints([][]float64{{0}, {1}}, SingleLinkage)
+	s := dg.ASCII(nil)
+	if s == "" {
+		t.Fatal("empty ASCII dendrogram")
+	}
+	s2 := dg.ASCII(func(obs int) string { return "user" })
+	if s2 == s {
+		t.Fatal("custom labeler had no effect")
+	}
+}
+
+func TestHierarchicalClusterBadMatrix(t *testing.T) {
+	if _, err := HierarchicalCluster(nil, SingleLinkage); err == nil {
+		t.Fatal("expected error on empty matrix")
+	}
+	if _, err := HierarchicalCluster([][]float64{{0, 1}}, SingleLinkage); err == nil {
+		t.Fatal("expected error on non-square matrix")
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	if SingleLinkage.String() != "single" || CompleteLinkage.String() != "complete" || AverageLinkage.String() != "average" {
+		t.Fatal("Linkage.String wrong")
+	}
+	if Linkage(99).String() == "" {
+		t.Fatal("unknown linkage should still render")
+	}
+}
+
+// Property: every cut into k clusters yields exactly k non-empty groups and
+// labels every observation.
+func TestCutPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+		}
+		dg, err := ClusterPoints(pts, AverageLinkage)
+		if err != nil {
+			return false
+		}
+		k := 1 + rng.Intn(n)
+		labels, err := dg.Cut(k)
+		if err != nil {
+			return false
+		}
+		seen := map[int]int{}
+		for _, l := range labels {
+			if l < 0 {
+				return false
+			}
+			seen[l]++
+		}
+		return len(seen) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cophenetic distance dominates the true distance under single
+// linkage never exceeds it under... — we assert symmetry and zero diagonal.
+func TestCopheneticSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{rng.NormFloat64()}
+		}
+		dg, err := ClusterPoints(pts, SingleLinkage)
+		if err != nil {
+			return false
+		}
+		c := dg.CopheneticDistances()
+		for i := 0; i < n; i++ {
+			if c[i][i] != 0 {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				if c[i][j] != c[j][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

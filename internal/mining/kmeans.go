@@ -1,0 +1,142 @@
+package mining
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeansResult holds the outcome of a k-means run.
+type KMeansResult struct {
+	Centroids [][]float64
+	Labels    []int
+	// Inertia is the sum of squared distances of points to their centroid.
+	Inertia float64
+	// Iterations actually performed before convergence or cutoff.
+	Iterations int
+}
+
+// KMeans clusters points into k groups using Lloyd's algorithm with
+// k-means++-style seeding from the provided rng. maxIter bounds the number
+// of assignment/update rounds.
+func KMeans(points [][]float64, k, maxIter int, rng *rand.Rand) (*KMeansResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errNoObservations
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("mining: k=%d for %d points", k, n)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("mining: point %d has %d dims, want %d", i, len(p), dim)
+		}
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+
+	centroids := seedPlusPlus(points, k, rng)
+	labels := make([]int, n)
+	res := &KMeansResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cen := range centroids {
+				d := sqDist(p, cen)
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		// Update step.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			counts[labels[i]]++
+			for j, v := range p {
+				sums[labels[i]][j] += v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(sums[c], points[rng.Intn(n)])
+				counts[c] = 1
+				changed = true
+			}
+			for j := range sums[c] {
+				sums[c][j] /= float64(counts[c])
+			}
+		}
+		centroids = sums
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	res.Centroids = centroids
+	res.Labels = labels
+	for i, p := range points {
+		res.Inertia += sqDist(p, centroids[labels[i]])
+	}
+	return res, nil
+}
+
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	centroids := make([][]float64, 0, k)
+	first := points[rng.Intn(n)]
+	centroids = append(centroids, append([]float64(nil), first...))
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var pick int
+		if total == 0 {
+			pick = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			for i, d := range d2 {
+				acc += d
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[pick]...))
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,147 @@
+package mining
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := twoBlobs(8, 8, rng)
+	res, err := KMeans(pts, 2, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 8; i++ {
+		if res.Labels[i] != res.Labels[0] {
+			t.Fatalf("blob A split: %v", res.Labels)
+		}
+	}
+	for i := 9; i < 16; i++ {
+		if res.Labels[i] != res.Labels[8] {
+			t.Fatalf("blob B split: %v", res.Labels)
+		}
+	}
+	if res.Labels[0] == res.Labels[8] {
+		t.Fatal("blobs merged")
+	}
+	if res.Inertia > 1.0 {
+		t.Fatalf("inertia = %v, want tight clusters", res.Inertia)
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, 1, 10, nil); err == nil {
+		t.Fatal("expected error on empty points")
+	}
+	pts := [][]float64{{1}, {2}}
+	if _, err := KMeans(pts, 0, 10, nil); err == nil {
+		t.Fatal("expected error on k=0")
+	}
+	if _, err := KMeans(pts, 3, 10, nil); err == nil {
+		t.Fatal("expected error on k>n")
+	}
+	if _, err := KMeans([][]float64{{1}, {1, 2}}, 1, 10, nil); err == nil {
+		t.Fatal("expected error on ragged points")
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	pts := [][]float64{{0}, {5}, {10}}
+	res, err := KMeans(pts, 3, 20, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-9 {
+		t.Fatalf("k=n should give zero inertia, got %v", res.Inertia)
+	}
+	seen := map[int]bool{}
+	for _, l := range res.Labels {
+		seen[l] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("labels = %v, want 3 distinct", res.Labels)
+	}
+}
+
+func TestKMeansDeterministicWithSameSeed(t *testing.T) {
+	rng1 := rand.New(rand.NewSource(77))
+	rng2 := rand.New(rand.NewSource(77))
+	pts := twoBlobs(5, 5, rand.New(rand.NewSource(2)))
+	r1, err := KMeans(pts, 2, 30, rng1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := KMeans(pts, 2, 30, rng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Labels {
+		if r1.Labels[i] != r2.Labels[i] {
+			t.Fatal("same seed gave different clusterings")
+		}
+	}
+}
+
+func TestKMeansNilRNGDefaults(t *testing.T) {
+	pts := twoBlobs(4, 4, rand.New(rand.NewSource(8)))
+	if _, err := KMeans(pts, 2, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every point's assigned centroid is (weakly) the nearest one.
+func TestKMeansAssignmentOptimalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		}
+		k := 1 + rng.Intn(3)
+		res, err := KMeans(pts, k, 60, rng)
+		if err != nil {
+			return false
+		}
+		for i, p := range pts {
+			mine := sqDist(p, res.Centroids[res.Labels[i]])
+			for _, c := range res.Centroids {
+				if sqDist(p, c) < mine-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inertia equals the sum of squared point-to-assigned-centroid
+// distances (self-consistency of the reported statistic).
+func TestKMeansInertiaConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(12)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{rng.NormFloat64()}
+		}
+		res, err := KMeans(pts, 2, 40, rng)
+		if err != nil {
+			return n < 2
+		}
+		s := 0.0
+		for i, p := range pts {
+			s += sqDist(p, res.Centroids[res.Labels[i]])
+		}
+		return math.Abs(s-res.Inertia) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package mining
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKNNBasicClassification(t *testing.T) {
+	pts := [][]float64{{0, 0}, {0, 1}, {1, 0}, {10, 10}, {10, 11}, {11, 10}}
+	labels := []string{"low", "low", "low", "high", "high", "high"}
+	c, err := NewKNN(3, pts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Predict([]float64{0.5, 0.5})
+	if err != nil || got != "low" {
+		t.Fatalf("Predict = %q, %v; want low", got, err)
+	}
+	got, _ = c.Predict([]float64{10.5, 10.5})
+	if got != "high" {
+		t.Fatalf("Predict = %q, want high", got)
+	}
+}
+
+func TestKNNValidation(t *testing.T) {
+	pts := [][]float64{{1}}
+	if _, err := NewKNN(0, pts, []string{"a"}); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := NewKNN(1, nil, nil); err == nil {
+		t.Fatal("empty training set should error")
+	}
+	if _, err := NewKNN(1, pts, []string{"a", "b"}); err == nil {
+		t.Fatal("label count mismatch should error")
+	}
+	if _, err := NewKNN(1, [][]float64{{1}, {1, 2}}, []string{"a", "b"}); err == nil {
+		t.Fatal("ragged points should error")
+	}
+}
+
+func TestKNNPredictDimMismatch(t *testing.T) {
+	c, _ := NewKNN(1, [][]float64{{1, 2}}, []string{"a"})
+	if _, err := c.Predict([]float64{1}); err == nil {
+		t.Fatal("dimension mismatch should error")
+	}
+}
+
+func TestKNNKLargerThanTrainingSet(t *testing.T) {
+	c, _ := NewKNN(10, [][]float64{{0}, {1}}, []string{"a", "b"})
+	if _, err := c.Predict([]float64{0.4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKNNAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var train, test [][]float64
+	var trainL, testL []string
+	for i := 0; i < 30; i++ {
+		p := []float64{rng.NormFloat64() * 0.3, rng.NormFloat64() * 0.3}
+		l := "a"
+		if i%2 == 1 {
+			p[0] += 8
+			l = "b"
+		}
+		if i < 20 {
+			train = append(train, p)
+			trainL = append(trainL, l)
+		} else {
+			test = append(test, p)
+			testL = append(testL, l)
+		}
+	}
+	c, err := NewKNN(3, train, trainL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := c.Accuracy(test, testL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.99 {
+		t.Fatalf("accuracy = %v on separable data", acc)
+	}
+	if _, err := c.Accuracy(nil, nil); err == nil {
+		t.Fatal("empty test set should error")
+	}
+}
+
+func TestKNNDeterministicTieBreak(t *testing.T) {
+	// Equidistant neighbours with different labels: result must be stable.
+	pts := [][]float64{{-1}, {1}}
+	labels := []string{"b", "a"}
+	c, _ := NewKNN(2, pts, labels)
+	first, _ := c.Predict([]float64{0})
+	for i := 0; i < 10; i++ {
+		got, _ := c.Predict([]float64{0})
+		if got != first {
+			t.Fatal("tie-break not deterministic")
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package mining
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearRegressionRecoversExactModel(t *testing.T) {
+	// Plant y = 1.4a + 1.5b + 3.1c + 5436 — the paper's Hercules model.
+	rng := rand.New(rand.NewSource(42))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 40; i++ {
+		a := 1300 + rng.Float64()*800
+		b := 600 + rng.Float64()*500
+		c := 3100 + rng.Float64()*600
+		x = append(x, []float64{a, b, c})
+		y = append(y, 1.4*a+1.5*b+3.1*c+5436)
+	}
+	m, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.4, 1.5, 3.1}
+	for i := range want {
+		if math.Abs(m.Coeffs[i]-want[i]) > 1e-6 {
+			t.Fatalf("coeffs = %v, want %v", m.Coeffs, want)
+		}
+	}
+	if math.Abs(m.Intercept-5436) > 1e-4 {
+		t.Fatalf("intercept = %v, want 5436", m.Intercept)
+	}
+	if m.R2 < 0.999999 {
+		t.Fatalf("R2 = %v, want ~1", m.R2)
+	}
+	if m.N != 40 {
+		t.Fatalf("N = %d, want 40", m.N)
+	}
+}
+
+func TestLinearRegressionTooFewSamples(t *testing.T) {
+	x := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	y := []float64{1, 2}
+	if _, err := LinearRegression(x, y); !errors.Is(err, ErrTooFewSamples) {
+		t.Fatalf("err = %v, want ErrTooFewSamples", err)
+	}
+	if _, err := LinearRegression(nil, nil); !errors.Is(err, ErrTooFewSamples) {
+		t.Fatalf("empty: err = %v, want ErrTooFewSamples", err)
+	}
+}
+
+func TestLinearRegressionLengthMismatch(t *testing.T) {
+	if _, err := LinearRegression([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error on len mismatch")
+	}
+}
+
+func TestLinearRegressionRaggedRows(t *testing.T) {
+	x := [][]float64{{1, 2}, {3}, {4, 5}, {6, 7}}
+	if _, err := LinearRegression(x, []float64{1, 2, 3, 4}); err == nil {
+		t.Fatal("expected error on ragged rows")
+	}
+}
+
+func TestPredict(t *testing.T) {
+	m := &RegressionModel{Coeffs: []float64{2, -1}, Intercept: 10}
+	got, err := m.Predict([]float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 12 {
+		t.Fatalf("Predict = %v, want 12", got)
+	}
+	if _, err := m.Predict([]float64{1}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := &RegressionModel{Coeffs: []float64{1.4, 1.5, 3.1}, Intercept: 5436}
+	s := m.String()
+	if s != "(1.40*x0 + 1.50*x1 + 3.10*x2) + 5436" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestCoefficientDistance(t *testing.T) {
+	a := &RegressionModel{Coeffs: []float64{1, 2}, Intercept: 3}
+	b := &RegressionModel{Coeffs: []float64{1, 2}, Intercept: 3}
+	d, err := CoefficientDistance(a, b)
+	if err != nil || d != 0 {
+		t.Fatalf("identical models: d=%v err=%v", d, err)
+	}
+	c := &RegressionModel{Coeffs: []float64{4, 6}, Intercept: 3}
+	d, err = CoefficientDistance(a, c)
+	if err != nil || math.Abs(d-5) > 1e-12 {
+		t.Fatalf("d = %v, want 5", d)
+	}
+	bad := &RegressionModel{Coeffs: []float64{1}}
+	if _, err := CoefficientDistance(a, bad); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestRelativeCoefficientError(t *testing.T) {
+	truth := &RegressionModel{Coeffs: []float64{2, 4}, Intercept: 100}
+	fit := &RegressionModel{Coeffs: []float64{2, 4}, Intercept: 100}
+	e, err := RelativeCoefficientError(fit, truth)
+	if err != nil || e != 0 {
+		t.Fatalf("e=%v err=%v", e, err)
+	}
+	fit2 := &RegressionModel{Coeffs: []float64{3, 4}, Intercept: 100}
+	e, _ = RelativeCoefficientError(fit2, truth)
+	if math.Abs(e-0.5) > 1e-12 {
+		t.Fatalf("e = %v, want 0.5", e)
+	}
+	bad := &RegressionModel{Coeffs: []float64{1}}
+	if _, err := RelativeCoefficientError(bad, truth); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	m := &RegressionModel{Coeffs: []float64{1}, Intercept: 0}
+	rmse, err := m.RMSE([][]float64{{1}, {2}}, []float64{2, 1}) // errors -1, +1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rmse-1) > 1e-12 {
+		t.Fatalf("RMSE = %v, want 1", rmse)
+	}
+	if _, err := m.RMSE(nil, nil); err == nil {
+		t.Fatal("expected error on empty set")
+	}
+}
+
+// Property: regression on noiseless data from a random planted linear model
+// recovers the model, regardless of sample content.
+func TestRegressionRecoveryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(4)
+		n := p + 5 + rng.Intn(20)
+		coeffs := make([]float64, p)
+		for i := range coeffs {
+			coeffs[i] = rng.NormFloat64() * 10
+		}
+		intercept := rng.NormFloat64() * 100
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			row := make([]float64, p)
+			s := intercept
+			for j := range row {
+				row[j] = rng.NormFloat64() * 5
+				s += coeffs[j] * row[j]
+			}
+			x[i] = row
+			y[i] = s
+		}
+		m, err := LinearRegression(x, y)
+		if err != nil {
+			return errors.Is(err, ErrTooFewSamples)
+		}
+		for j := range coeffs {
+			if math.Abs(m.Coeffs[j]-coeffs[j]) > 1e-5 {
+				return false
+			}
+		}
+		return math.Abs(m.Intercept-intercept) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

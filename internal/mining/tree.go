@@ -1,0 +1,256 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DecisionTree is a CART-style classification tree (Gini impurity, binary
+// numeric splits) — the most interpretable of the "powerful mining
+// algorithms" in the attacker's toolkit: its split thresholds literally
+// spell out the private decision boundaries (e.g. "Glucose > 114 ⇒
+// high risk").
+type DecisionTree struct {
+	root *treeNode
+	dim  int
+}
+
+type treeNode struct {
+	// Leaf fields.
+	leaf  bool
+	label string
+	// Split fields.
+	feature   int
+	threshold float64
+	left      *treeNode // feature <= threshold
+	right     *treeNode // feature > threshold
+	samples   int
+}
+
+// TreeConfig bounds tree growth.
+type TreeConfig struct {
+	// MaxDepth limits tree height (default 6).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 3).
+	MinLeaf int
+}
+
+// TrainDecisionTree fits a classification tree.
+func TrainDecisionTree(points [][]float64, labels []string, cfg TreeConfig) (*DecisionTree, error) {
+	if len(points) == 0 {
+		return nil, errNoObservations
+	}
+	if len(points) != len(labels) {
+		return nil, fmt.Errorf("mining: %d points but %d labels", len(points), len(labels))
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("mining: point %d has %d dims, want %d", i, len(p), dim)
+		}
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 6
+	}
+	if cfg.MinLeaf <= 0 {
+		cfg.MinLeaf = 3
+	}
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	root := growTree(points, labels, idx, cfg, 0)
+	return &DecisionTree{root: root, dim: dim}, nil
+}
+
+func growTree(points [][]float64, labels []string, idx []int, cfg TreeConfig, depth int) *treeNode {
+	maj, pure := majorityLabel(labels, idx)
+	if pure || depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf {
+		return &treeNode{leaf: true, label: maj, samples: len(idx)}
+	}
+	feature, threshold, gain := bestSplit(points, labels, idx, cfg.MinLeaf)
+	if gain <= 1e-12 {
+		return &treeNode{leaf: true, label: maj, samples: len(idx)}
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if points[i][feature] <= threshold {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) < cfg.MinLeaf || len(rightIdx) < cfg.MinLeaf {
+		return &treeNode{leaf: true, label: maj, samples: len(idx)}
+	}
+	return &treeNode{
+		feature:   feature,
+		threshold: threshold,
+		left:      growTree(points, labels, leftIdx, cfg, depth+1),
+		right:     growTree(points, labels, rightIdx, cfg, depth+1),
+		samples:   len(idx),
+	}
+}
+
+func majorityLabel(labels []string, idx []int) (string, bool) {
+	counts := map[string]int{}
+	for _, i := range idx {
+		counts[labels[i]]++
+	}
+	best, bestN := "", -1
+	keys := make([]string, 0, len(counts))
+	for l := range counts {
+		keys = append(keys, l)
+	}
+	sort.Strings(keys)
+	for _, l := range keys {
+		if counts[l] > bestN {
+			best, bestN = l, counts[l]
+		}
+	}
+	return best, len(counts) == 1
+}
+
+func gini(labels []string, idx []int) float64 {
+	counts := map[string]int{}
+	for _, i := range idx {
+		counts[labels[i]]++
+	}
+	n := float64(len(idx))
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / n
+		g -= p * p
+	}
+	return g
+}
+
+// bestSplit finds the (feature, threshold) minimizing weighted Gini.
+func bestSplit(points [][]float64, labels []string, idx []int, minLeaf int) (feature int, threshold, gain float64) {
+	parent := gini(labels, idx)
+	n := float64(len(idx))
+	bestGain := 0.0
+	bestFeature, bestThresh := -1, 0.0
+	dim := len(points[idx[0]])
+
+	for f := 0; f < dim; f++ {
+		sorted := append([]int(nil), idx...)
+		sort.Slice(sorted, func(a, b int) bool { return points[sorted[a]][f] < points[sorted[b]][f] })
+		// Incremental class counts left of the candidate split.
+		leftCounts := map[string]int{}
+		rightCounts := map[string]int{}
+		for _, i := range sorted {
+			rightCounts[labels[i]]++
+		}
+		for k := 0; k < len(sorted)-1; k++ {
+			lbl := labels[sorted[k]]
+			leftCounts[lbl]++
+			rightCounts[lbl]--
+			if k+1 < minLeaf || len(sorted)-k-1 < minLeaf {
+				continue
+			}
+			v, next := points[sorted[k]][f], points[sorted[k+1]][f]
+			if v == next {
+				continue // can't split between equal values
+			}
+			nl, nr := float64(k+1), float64(len(sorted)-k-1)
+			gl := giniFromCounts(leftCounts, nl)
+			gr := giniFromCounts(rightCounts, nr)
+			g := parent - (nl/n)*gl - (nr/n)*gr
+			if g > bestGain {
+				bestGain = g
+				bestFeature = f
+				bestThresh = (v + next) / 2
+			}
+		}
+	}
+	return bestFeature, bestThresh, bestGain
+}
+
+func giniFromCounts(counts map[string]int, n float64) float64 {
+	g := 1.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		g -= p * p
+	}
+	return g
+}
+
+// Predict classifies one observation.
+func (t *DecisionTree) Predict(x []float64) (string, error) {
+	if len(x) != t.dim {
+		return "", fmt.Errorf("mining: query has %d dims, tree has %d", len(x), t.dim)
+	}
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.label, nil
+}
+
+// Accuracy scores the tree on a labelled test set.
+func (t *DecisionTree) Accuracy(points [][]float64, labels []string) (float64, error) {
+	if len(points) != len(labels) || len(points) == 0 {
+		return 0, fmt.Errorf("mining: accuracy needs equal non-empty sets (got %d, %d)", len(points), len(labels))
+	}
+	correct := 0
+	for i, p := range points {
+		got, err := t.Predict(p)
+		if err != nil {
+			return 0, err
+		}
+		if got == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(points)), nil
+}
+
+// Depth returns the tree's height (a single leaf has depth 0).
+func (t *DecisionTree) Depth() int {
+	var depth func(n *treeNode) int
+	depth = func(n *treeNode) int {
+		if n.leaf {
+			return 0
+		}
+		l, r := depth(n.left), depth(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return depth(t.root)
+}
+
+// Rules renders the tree's decision rules — the leaked "knowledge" an
+// attacker reads straight off the model.
+func (t *DecisionTree) Rules(featureNames []string) string {
+	var b strings.Builder
+	nameOf := func(f int) string {
+		if f < len(featureNames) {
+			return featureNames[f]
+		}
+		return fmt.Sprintf("x%d", f)
+	}
+	var walk func(n *treeNode, indent string)
+	walk = func(n *treeNode, indent string) {
+		if n.leaf {
+			fmt.Fprintf(&b, "%s=> %s (%d samples)\n", indent, n.label, n.samples)
+			return
+		}
+		fmt.Fprintf(&b, "%sif %s <= %.3f:\n", indent, nameOf(n.feature), n.threshold)
+		walk(n.left, indent+"  ")
+		fmt.Fprintf(&b, "%selse:\n", indent)
+		walk(n.right, indent+"  ")
+	}
+	walk(t.root, "")
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package mining
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDecisionTreeSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := bayesBlobs(200, rng)
+	tree, err := TrainDecisionTree(x, y, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, ty := bayesBlobs(100, rng)
+	acc, err := tree.Accuracy(tx, ty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.97 {
+		t.Fatalf("accuracy = %v on separable data", acc)
+	}
+	if tree.Depth() < 1 {
+		t.Fatal("tree never split")
+	}
+}
+
+func TestDecisionTreeValidation(t *testing.T) {
+	if _, err := TrainDecisionTree(nil, nil, TreeConfig{}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	if _, err := TrainDecisionTree([][]float64{{1}}, []string{"a", "b"}, TreeConfig{}); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, err := TrainDecisionTree([][]float64{{1}, {1, 2}}, []string{"a", "b"}, TreeConfig{}); err == nil {
+		t.Fatal("ragged points accepted")
+	}
+}
+
+func TestDecisionTreePureInputIsLeaf(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	y := []string{"only", "only", "only"}
+	tree, err := TrainDecisionTree(x, y, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 0 {
+		t.Fatalf("pure data grew depth %d", tree.Depth())
+	}
+	got, _ := tree.Predict([]float64{99})
+	if got != "only" {
+		t.Fatalf("Predict = %q", got)
+	}
+}
+
+func TestDecisionTreeMaxDepthRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	var y []string
+	for i := 0; i < 300; i++ {
+		p := []float64{rng.Float64(), rng.Float64()}
+		lbl := "a"
+		if (p[0] > 0.5) != (p[1] > 0.5) { // XOR pattern needs depth >= 2
+			lbl = "b"
+		}
+		x = append(x, p)
+		y = append(y, lbl)
+	}
+	tree, err := TrainDecisionTree(x, y, TreeConfig{MaxDepth: 2, MinLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() > 2 {
+		t.Fatalf("depth %d exceeds max 2", tree.Depth())
+	}
+	deep, err := TrainDecisionTree(x, y, TreeConfig{MaxDepth: 8, MinLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accShallow, _ := tree.Accuracy(x, y)
+	accDeep, _ := deep.Accuracy(x, y)
+	if accDeep <= accShallow {
+		t.Fatalf("deeper tree (%v) not better than depth-2 (%v) on XOR", accDeep, accShallow)
+	}
+	if accDeep < 0.9 {
+		t.Fatalf("deep tree accuracy %v on XOR", accDeep)
+	}
+}
+
+func TestDecisionTreePredictValidation(t *testing.T) {
+	tree, _ := TrainDecisionTree([][]float64{{0}, {1}, {0}, {1}, {0}, {1}}, []string{"a", "b", "a", "b", "a", "b"}, TreeConfig{MinLeaf: 1})
+	if _, err := tree.Predict([]float64{1, 2}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := tree.Accuracy(nil, nil); err == nil {
+		t.Fatal("empty test set accepted")
+	}
+}
+
+func TestDecisionTreeRulesReadable(t *testing.T) {
+	x := [][]float64{{90}, {95}, {100}, {130}, {140}, {150}}
+	y := []string{"low", "low", "low", "high", "high", "high"}
+	tree, err := TrainDecisionTree(x, y, TreeConfig{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := tree.Rules([]string{"glucose"})
+	if !strings.Contains(rules, "glucose <=") || !strings.Contains(rules, "=> high") {
+		t.Fatalf("rules unreadable:\n%s", rules)
+	}
+	// The split threshold must lie between the classes.
+	got, _ := tree.Predict([]float64{92})
+	if got != "low" {
+		t.Fatalf("Predict(92) = %q", got)
+	}
+	got, _ = tree.Predict([]float64{145})
+	if got != "high" {
+		t.Fatalf("Predict(145) = %q", got)
+	}
+}
+
+func TestDecisionTreeTiesOnEqualValues(t *testing.T) {
+	// All feature values equal: no split possible, majority leaf.
+	x := [][]float64{{5}, {5}, {5}, {5}}
+	y := []string{"a", "a", "b", "a"}
+	tree, err := TrainDecisionTree(x, y, TreeConfig{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tree.Predict([]float64{5})
+	if got != "a" {
+		t.Fatalf("majority = %q", got)
+	}
+}

@@ -1,0 +1,38 @@
+package mislead
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzInjectStrip fuzzes decoy injection/removal.
+func FuzzInjectStrip(f *testing.F) {
+	f.Add([]byte("payload"), 0.3, int64(1))
+	f.Add([]byte{}, 0.9, int64(2))
+	f.Fuzz(func(t *testing.T, data []byte, frac float64, seed int64) {
+		if frac < 0 || frac > 1 {
+			return
+		}
+		inflated, inj, err := Inject(data, frac, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("inject: %v", err)
+		}
+		got, err := Strip(inflated, inj)
+		if err != nil {
+			t.Fatalf("strip: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzStripHostile feeds Strip arbitrary injections: it must never panic.
+func FuzzStripHostile(f *testing.F) {
+	f.Add([]byte("abc"), 0, 1)
+	f.Add([]byte{}, 5, -3)
+	f.Fuzz(func(t *testing.T, data []byte, p1, p2 int) {
+		_, _ = Strip(data, Injection{Positions: []int{p1, p2}})
+	})
+}

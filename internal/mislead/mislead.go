@@ -1,0 +1,180 @@
+// Package mislead implements the paper's misleading-data mechanism: "the
+// Cloud Data Distributor may add misleading data into chunks depending on
+// the demand of clients. The positions of misleading data bytes are also
+// maintained by the distributor and these misleading bytes are removed
+// while providing the chunks to the clients." (§IV-A, §VII-D)
+//
+// Injection is deterministic given a seed, so the distributor only needs
+// to persist the positions (as the paper's Chunk Table does); Strip
+// inverts Inject exactly.
+package mislead
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Injection describes misleading bytes added to one chunk: Positions are
+// indices into the *inflated* payload that hold decoy bytes. This is the
+// "M" column of the paper's Chunk Table.
+type Injection struct {
+	Positions []int
+}
+
+// Count returns the number of injected bytes.
+func (inj Injection) Count() int { return len(inj.Positions) }
+
+// Validate checks positions are sorted, unique, non-negative and within
+// the inflated length.
+func (inj Injection) Validate(inflatedLen int) error {
+	prev := -1
+	for _, p := range inj.Positions {
+		if p < 0 || p >= inflatedLen {
+			return fmt.Errorf("mislead: position %d outside inflated payload of %d bytes", p, inflatedLen)
+		}
+		if p <= prev {
+			return fmt.Errorf("mislead: positions not strictly increasing at %d", p)
+		}
+		prev = p
+	}
+	return nil
+}
+
+// Inject inserts decoy bytes into data so that the decoy content blends in
+// statistically (bytes are sampled from the payload's own distribution,
+// making the decoys hard to filter before mining). fraction ∈ [0, 1] is
+// the ratio of decoy bytes to original bytes. The returned Injection
+// records the decoy positions in the inflated payload.
+func Inject(data []byte, fraction float64, rng *rand.Rand) ([]byte, Injection, error) {
+	if fraction < 0 || fraction > 1 {
+		return nil, Injection{}, fmt.Errorf("mislead: fraction %v outside [0,1]", fraction)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	nDecoys := int(float64(len(data)) * fraction)
+	if nDecoys == 0 {
+		out := make([]byte, len(data))
+		copy(out, data)
+		return out, Injection{}, nil
+	}
+	inflatedLen := len(data) + nDecoys
+	// Choose decoy positions uniformly in the inflated payload.
+	positions := pickPositions(inflatedLen, nDecoys, rng)
+	isDecoy := make([]bool, inflatedLen)
+	for _, p := range positions {
+		isDecoy[p] = true
+	}
+	out := make([]byte, inflatedLen)
+	src := 0
+	for i := range out {
+		if isDecoy[i] {
+			out[i] = decoyByte(data, rng)
+		} else {
+			out[i] = data[src]
+			src++
+		}
+	}
+	return out, Injection{Positions: positions}, nil
+}
+
+// pickPositions samples n distinct positions in [0, total) and returns
+// them sorted.
+func pickPositions(total, n int, rng *rand.Rand) []int {
+	perm := rng.Perm(total)[:n]
+	sort.Ints(perm)
+	return perm
+}
+
+// decoyByte samples a byte from the payload's own empirical distribution
+// (or uniformly if the payload is empty).
+func decoyByte(data []byte, rng *rand.Rand) byte {
+	if len(data) == 0 {
+		return byte(rng.Intn(256))
+	}
+	return data[rng.Intn(len(data))]
+}
+
+// Strip removes the injected bytes, recovering the original payload.
+func Strip(inflated []byte, inj Injection) ([]byte, error) {
+	if err := inj.Validate(len(inflated)); err != nil {
+		return nil, err
+	}
+	if len(inj.Positions) == 0 {
+		out := make([]byte, len(inflated))
+		copy(out, inflated)
+		return out, nil
+	}
+	isDecoy := make(map[int]bool, len(inj.Positions))
+	for _, p := range inj.Positions {
+		isDecoy[p] = true
+	}
+	out := make([]byte, 0, len(inflated)-len(inj.Positions))
+	for i, b := range inflated {
+		if !isDecoy[i] {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// InjectLines inserts whole misleading records (lines) into line-oriented
+// data such as the CSV files the evaluation uses — this is what actually
+// corrupts a mining run, since a mining attacker parses records, not
+// bytes. decoys are full fabricated lines; the returned Injection records
+// the byte positions of the inserted regions so Strip still inverts it.
+func InjectLines(data []byte, decoyLines [][]byte, rng *rand.Rand) ([]byte, Injection, error) {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(2))
+	}
+	if len(decoyLines) == 0 {
+		out := make([]byte, len(data))
+		copy(out, data)
+		return out, Injection{}, nil
+	}
+	// Find line-start offsets in the original data.
+	starts := []int{0}
+	for i, b := range data {
+		if b == '\n' && i+1 < len(data) {
+			starts = append(starts, i+1)
+		}
+	}
+	// Choose an insertion line-start for each decoy.
+	insertAt := make([]int, len(decoyLines))
+	for i := range insertAt {
+		insertAt[i] = starts[rng.Intn(len(starts))]
+	}
+	sort.Ints(insertAt)
+
+	var out []byte
+	var positions []int
+	di := 0
+	for off := 0; off <= len(data); off++ {
+		for di < len(insertAt) && insertAt[di] == off {
+			line := decoyLines[di]
+			for _, b := range line {
+				positions = append(positions, len(out))
+				out = append(out, b)
+			}
+			if len(line) == 0 || line[len(line)-1] != '\n' {
+				positions = append(positions, len(out))
+				out = append(out, '\n')
+			}
+			di++
+		}
+		if off < len(data) {
+			out = append(out, data[off])
+		}
+	}
+	return out, Injection{Positions: positions}, nil
+}
+
+// Overhead reports the storage overhead ratio of an injection relative to
+// the original size (0.25 means 25% extra bytes).
+func Overhead(originalLen int, inj Injection) float64 {
+	if originalLen == 0 {
+		return 0
+	}
+	return float64(inj.Count()) / float64(originalLen)
+}

@@ -1,0 +1,214 @@
+package mislead
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestInjectStripRoundTrip(t *testing.T) {
+	data := []byte("the original sensitive payload that must survive")
+	rng := rand.New(rand.NewSource(3))
+	inflated, inj, err := Inject(data, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inflated) != len(data)+inj.Count() {
+		t.Fatalf("inflated %d bytes, want %d+%d", len(inflated), len(data), inj.Count())
+	}
+	if inj.Count() == 0 {
+		t.Fatal("no decoys injected at fraction 0.3")
+	}
+	got, err := Strip(inflated, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("strip mismatch: %q", got)
+	}
+}
+
+func TestInjectFractionValidation(t *testing.T) {
+	if _, _, err := Inject([]byte("x"), -0.1, nil); err == nil {
+		t.Fatal("negative fraction should error")
+	}
+	if _, _, err := Inject([]byte("x"), 1.5, nil); err == nil {
+		t.Fatal("fraction > 1 should error")
+	}
+}
+
+func TestInjectZeroFraction(t *testing.T) {
+	data := []byte("unchanged")
+	out, inj, err := Inject(data, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Count() != 0 || !bytes.Equal(out, data) {
+		t.Fatalf("zero fraction changed data: %q, %d decoys", out, inj.Count())
+	}
+	// Must be a copy, not an alias.
+	out[0] = 'X'
+	if data[0] != 'u' {
+		t.Fatal("Inject aliased input")
+	}
+}
+
+func TestInjectEmptyPayload(t *testing.T) {
+	out, inj, err := Inject(nil, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 || inj.Count() != 0 {
+		t.Fatalf("empty payload: out=%d decoys=%d", len(out), inj.Count())
+	}
+}
+
+func TestInjectionValidate(t *testing.T) {
+	if err := (Injection{Positions: []int{1, 3, 5}}).Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Injection{Positions: []int{-1}}).Validate(6); err == nil {
+		t.Fatal("negative position accepted")
+	}
+	if err := (Injection{Positions: []int{6}}).Validate(6); err == nil {
+		t.Fatal("out-of-range position accepted")
+	}
+	if err := (Injection{Positions: []int{3, 3}}).Validate(6); err == nil {
+		t.Fatal("duplicate position accepted")
+	}
+	if err := (Injection{Positions: []int{5, 2}}).Validate(6); err == nil {
+		t.Fatal("unsorted positions accepted")
+	}
+}
+
+func TestStripRejectsBadInjection(t *testing.T) {
+	if _, err := Strip([]byte("abc"), Injection{Positions: []int{9}}); err == nil {
+		t.Fatal("bad injection accepted by Strip")
+	}
+}
+
+func TestStripNoDecoys(t *testing.T) {
+	data := []byte("plain")
+	got, err := Strip(data, Injection{})
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("got %q err %v", got, err)
+	}
+	got[0] = 'X'
+	if data[0] != 'p' {
+		t.Fatal("Strip aliased input")
+	}
+}
+
+func TestDecoyBytesComeFromPayloadDistribution(t *testing.T) {
+	// A payload of only 'A' bytes must yield only 'A' decoys.
+	data := bytes.Repeat([]byte{'A'}, 1000)
+	inflated, inj, err := Inject(data, 0.5, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Count() == 0 {
+		t.Fatal("no decoys")
+	}
+	for _, b := range inflated {
+		if b != 'A' {
+			t.Fatalf("decoy byte %q stands out from payload", b)
+		}
+	}
+}
+
+func TestInjectLinesRoundTrip(t *testing.T) {
+	data := []byte("r1,a\nr2,b\nr3,c\n")
+	decoys := [][]byte{[]byte("fake1,x"), []byte("fake2,y\n")}
+	inflated, inj, err := InjectLines(data, decoys, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(inflated, []byte("fake1,x")) || !bytes.Contains(inflated, []byte("fake2,y")) {
+		t.Fatalf("decoys missing: %q", inflated)
+	}
+	got, err := Strip(inflated, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("strip mismatch: %q", got)
+	}
+	// Decoy lines must be whole lines (count rises by exactly 2).
+	origLines := strings.Count(string(data), "\n")
+	inflLines := strings.Count(string(inflated), "\n")
+	if inflLines != origLines+2 {
+		t.Fatalf("lines %d → %d, want +2", origLines, inflLines)
+	}
+}
+
+func TestInjectLinesNoDecoys(t *testing.T) {
+	data := []byte("a\nb\n")
+	out, inj, err := InjectLines(data, nil, nil)
+	if err != nil || inj.Count() != 0 || !bytes.Equal(out, data) {
+		t.Fatalf("out=%q inj=%d err=%v", out, inj.Count(), err)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	if Overhead(0, Injection{}) != 0 {
+		t.Fatal("zero-length overhead should be 0")
+	}
+	if got := Overhead(100, Injection{Positions: make([]int, 25)}); got != 0.25 {
+		t.Fatalf("overhead = %v, want 0.25", got)
+	}
+}
+
+// Property: Inject→Strip is the identity for arbitrary payloads/fractions.
+func TestInjectStripRoundTripProperty(t *testing.T) {
+	f := func(data []byte, fracSeed uint8, seed int64) bool {
+		frac := float64(fracSeed%101) / 100.0
+		rng := rand.New(rand.NewSource(seed))
+		inflated, inj, err := Inject(data, frac, rng)
+		if err != nil {
+			return false
+		}
+		if inj.Validate(len(inflated)) != nil {
+			return false
+		}
+		got, err := Strip(inflated, inj)
+		if err != nil {
+			return false
+		}
+		if data == nil {
+			return len(got) == 0
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: InjectLines→Strip is the identity.
+func TestInjectLinesRoundTripProperty(t *testing.T) {
+	f := func(nLines uint8, nDecoys uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var data []byte
+		for i := 0; i < int(nLines%20)+1; i++ {
+			data = append(data, []byte("row,value\n")...)
+		}
+		var decoys [][]byte
+		for i := 0; i < int(nDecoys%5); i++ {
+			decoys = append(decoys, []byte("decoy,row"))
+		}
+		inflated, inj, err := InjectLines(data, decoys, rng)
+		if err != nil {
+			return false
+		}
+		got, err := Strip(inflated, inj)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

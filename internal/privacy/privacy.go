@@ -1,0 +1,130 @@
+// Package privacy defines the paper's four-level sensitivity taxonomy
+// (PL 0–3), provider cost levels (CL 0–3), and the chunk-size policy tied
+// to sensitivity ("the higher the privilege level, the lower the chunk
+// size"). It is the shared vocabulary of the distributor, chunker and
+// placement policy.
+package privacy
+
+import "fmt"
+
+// Level is a privacy (mining-sensitivity) level. The paper suggests, but
+// does not limit the system to, four levels.
+type Level int
+
+const (
+	// Public data: accessible to everyone including the adversary.
+	Public Level = 0
+	// Low sensitivity: reveals no private information but can be used to
+	// find patterns.
+	Low Level = 1
+	// Moderate sensitivity: protected data usable to extract non-trivial
+	// financial, legal or health information.
+	Moderate Level = 2
+	// High sensitivity: private data whose leak "can prove disastrous".
+	High Level = 3
+)
+
+// MaxLevel is the highest level in the default 4-level scheme.
+const MaxLevel = High
+
+// Valid reports whether l is within the default scheme.
+func (l Level) Valid() bool { return l >= Public && l <= MaxLevel }
+
+func (l Level) String() string {
+	switch l {
+	case Public:
+		return "PL0(public)"
+	case Low:
+		return "PL1(low)"
+	case Moderate:
+		return "PL2(moderate)"
+	case High:
+		return "PL3(high)"
+	default:
+		return fmt.Sprintf("PL%d", int(l))
+	}
+}
+
+// CostLevel is a provider storage cost class; higher means more expensive
+// ($/GB-month).
+type CostLevel int
+
+// ValidCost reports whether c is within the default 4-level cost scheme.
+func (c CostLevel) Valid() bool { return c >= 0 && c <= 3 }
+
+// DollarsPerGBMonth maps a cost level to a representative storage price,
+// loosely calibrated to the 2012 cloud-storage market the paper cites.
+func (c CostLevel) DollarsPerGBMonth() float64 {
+	switch {
+	case c <= 0:
+		return 0.05
+	case c == 1:
+		return 0.08
+	case c == 2:
+		return 0.11
+	default:
+		return 0.14
+	}
+}
+
+// ChunkSizePolicy maps a privacy level to a chunk size in bytes: sensitive
+// files split into smaller chunks so each provider holds fewer samples
+// (§VII-B, §VII-C).
+type ChunkSizePolicy struct {
+	// SizeByLevel[l] is the chunk size for level l.
+	SizeByLevel map[Level]int
+}
+
+// DefaultChunkSizes returns the repository's default policy: public data
+// in 64 KiB chunks halving per level down to 8 KiB for PL3.
+func DefaultChunkSizes() ChunkSizePolicy {
+	return ChunkSizePolicy{SizeByLevel: map[Level]int{
+		Public:   64 << 10,
+		Low:      32 << 10,
+		Moderate: 16 << 10,
+		High:     8 << 10,
+	}}
+}
+
+// Size returns the chunk size for a level, falling back to the smallest
+// configured size for levels above the map (more sensitive ⇒ no larger).
+func (p ChunkSizePolicy) Size(l Level) (int, error) {
+	if s, ok := p.SizeByLevel[l]; ok {
+		if s <= 0 {
+			return 0, fmt.Errorf("privacy: non-positive chunk size %d for %v", s, l)
+		}
+		return s, nil
+	}
+	smallest := 0
+	for _, s := range p.SizeByLevel {
+		if smallest == 0 || s < smallest {
+			smallest = s
+		}
+	}
+	if smallest == 0 {
+		return 0, fmt.Errorf("privacy: empty chunk size policy")
+	}
+	return smallest, nil
+}
+
+// Validate checks that sizes are positive and non-increasing with level.
+func (p ChunkSizePolicy) Validate() error {
+	prev := 0
+	for l := Public; l <= MaxLevel; l++ {
+		s, ok := p.SizeByLevel[l]
+		if !ok {
+			continue
+		}
+		if s <= 0 {
+			return fmt.Errorf("privacy: chunk size for %v is %d", l, s)
+		}
+		if prev != 0 && s > prev {
+			return fmt.Errorf("privacy: chunk size grows with sensitivity (%v: %d > previous %d)", l, s, prev)
+		}
+		prev = s
+	}
+	if prev == 0 && len(p.SizeByLevel) == 0 {
+		return fmt.Errorf("privacy: empty chunk size policy")
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package privacy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLevelValid(t *testing.T) {
+	for l := Public; l <= High; l++ {
+		if !l.Valid() {
+			t.Fatalf("%v should be valid", l)
+		}
+	}
+	if Level(-1).Valid() || Level(4).Valid() {
+		t.Fatal("out-of-range levels reported valid")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	cases := map[Level]string{
+		Public:   "PL0(public)",
+		Low:      "PL1(low)",
+		Moderate: "PL2(moderate)",
+		High:     "PL3(high)",
+		Level(7): "PL7",
+	}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", int(l), got, want)
+		}
+	}
+}
+
+func TestCostLevel(t *testing.T) {
+	if !CostLevel(0).Valid() || !CostLevel(3).Valid() {
+		t.Fatal("valid cost levels rejected")
+	}
+	if CostLevel(-1).Valid() || CostLevel(4).Valid() {
+		t.Fatal("invalid cost levels accepted")
+	}
+	prev := 0.0
+	for c := CostLevel(0); c <= 3; c++ {
+		d := c.DollarsPerGBMonth()
+		if d <= prev {
+			t.Fatalf("cost not increasing: CL%d = %v after %v", c, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestDefaultChunkSizes(t *testing.T) {
+	p := DefaultChunkSizes()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prev := 1 << 30
+	for l := Public; l <= High; l++ {
+		s, err := p.Size(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > prev {
+			t.Fatalf("chunk size grows with sensitivity at %v", l)
+		}
+		if s <= 0 {
+			t.Fatalf("chunk size %d at %v", s, l)
+		}
+		prev = s
+	}
+	// Paper property: higher privacy level → strictly smaller default chunk.
+	pub, _ := p.Size(Public)
+	high, _ := p.Size(High)
+	if high >= pub {
+		t.Fatalf("PL3 chunk (%d) should be smaller than PL0 (%d)", high, pub)
+	}
+}
+
+func TestChunkSizeFallback(t *testing.T) {
+	p := DefaultChunkSizes()
+	s, err := p.Size(Level(9)) // beyond configured levels
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := p.Size(High)
+	if s != want {
+		t.Fatalf("fallback size = %d, want smallest %d", s, want)
+	}
+}
+
+func TestChunkSizeEmptyPolicy(t *testing.T) {
+	p := ChunkSizePolicy{SizeByLevel: map[Level]int{}}
+	if _, err := p.Size(Public); err == nil {
+		t.Fatal("empty policy should error")
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("empty policy should fail validation")
+	}
+}
+
+func TestValidateRejectsGrowingSizes(t *testing.T) {
+	p := ChunkSizePolicy{SizeByLevel: map[Level]int{Public: 10, Low: 20}}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "grows") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsNonPositive(t *testing.T) {
+	p := ChunkSizePolicy{SizeByLevel: map[Level]int{Public: 0}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero size should fail validation")
+	}
+	p2 := ChunkSizePolicy{SizeByLevel: map[Level]int{Public: -5}}
+	if _, err := p2.Size(Public); err == nil {
+		t.Fatal("negative size should error from Size")
+	}
+}

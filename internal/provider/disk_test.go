@@ -1,0 +1,181 @@
+package provider
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/privacy"
+)
+
+func diskProvider(t *testing.T) *DiskProvider {
+	t.Helper()
+	p, err := NewDiskProvider(Info{Name: "disk", PL: privacy.High, CL: 1}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDiskProviderValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := NewDiskProvider(Info{Name: "", PL: privacy.Low, CL: 0}, dir); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := NewDiskProvider(Info{Name: "x", PL: privacy.Level(9), CL: 0}, dir); err == nil {
+		t.Fatal("bad PL accepted")
+	}
+}
+
+func TestDiskProviderPutGetDelete(t *testing.T) {
+	p := diskProvider(t)
+	data := []byte("persistent payload")
+	if err := p.Put("k1", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Get("k1")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := p.Put("", []byte("x")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := p.Delete("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get("k1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get deleted = %v", err)
+	}
+	if err := p.Delete("k1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete = %v", err)
+	}
+}
+
+func TestDiskProviderSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	info := Info{Name: "durable", PL: privacy.High, CL: 2}
+	p1, err := NewDiskProvider(info, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	want := map[string][]byte{}
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("chunk-%d", i)
+		data := make([]byte, 100+rng.Intn(1000))
+		rng.Read(data)
+		want[key] = data
+		if err := p1.Put(key, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = p1.Delete("chunk-3")
+	delete(want, "chunk-3")
+
+	// "Restart": a fresh instance over the same directory.
+	p2, err := NewDiskProvider(info, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Len() != len(want) {
+		t.Fatalf("restarted provider holds %d keys, want %d", p2.Len(), len(want))
+	}
+	for key, data := range want {
+		got, err := p2.Get(key)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("restart lost %s: %v", key, err)
+		}
+	}
+	if p2.Usage().BytesStored <= 0 {
+		t.Fatal("restored BytesStored not positive")
+	}
+}
+
+func TestDiskProviderOutage(t *testing.T) {
+	p := diskProvider(t)
+	_ = p.Put("k", []byte("v"))
+	p.SetOutage(true)
+	if !p.Down() {
+		t.Fatal("Down() = false")
+	}
+	if _, err := p.Get("k"); !errors.Is(err, ErrOutage) {
+		t.Fatalf("Get during outage = %v", err)
+	}
+	if err := p.Put("k2", []byte("v")); !errors.Is(err, ErrOutage) {
+		t.Fatalf("Put during outage = %v", err)
+	}
+	if err := p.Delete("k"); !errors.Is(err, ErrOutage) {
+		t.Fatalf("Delete during outage = %v", err)
+	}
+	p.SetOutage(false)
+	if _, err := p.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskProviderPathUnsafeKeys(t *testing.T) {
+	p := diskProvider(t)
+	keys := []string{"../../etc/passwd", "a/b/c", "k with spaces", "\x00weird"}
+	for _, k := range keys {
+		if err := p.Put(k, []byte(k)); err != nil {
+			t.Fatalf("Put(%q): %v", k, err)
+		}
+	}
+	for _, k := range keys {
+		got, err := p.Get(k)
+		if err != nil || string(got) != k {
+			t.Fatalf("Get(%q) = %q, %v", k, got, err)
+		}
+	}
+	if p.Len() != len(keys) {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func TestDiskProviderDumpAndUsage(t *testing.T) {
+	p := diskProvider(t)
+	_ = p.Put("a", make([]byte, 10))
+	_ = p.Put("b", make([]byte, 20))
+	_ = p.Put("a", make([]byte, 5)) // overwrite shrinks
+	d := p.Dump()
+	if len(d) != 2 || len(d["a"]) != 5 {
+		t.Fatalf("Dump = %d entries", len(d))
+	}
+	u := p.Usage()
+	if u.BytesStored != 25 {
+		t.Fatalf("BytesStored = %d, want 25", u.BytesStored)
+	}
+	if u.Puts != 3 || u.Keys != 2 {
+		t.Fatalf("usage = %+v", u)
+	}
+	keys := p.Keys()
+	if len(keys) != 2 || keys[0] != "a" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestDiskProviderWorksWithDistributorFleet(t *testing.T) {
+	// DiskProvider satisfies provider.Provider, so it plugs into a fleet.
+	fleet, err := NewFleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p, err := NewDiskProvider(Info{Name: fmt.Sprintf("dp%d", i), PL: privacy.High, CL: 0}, t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fleet.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fleet.Len() != 3 {
+		t.Fatalf("fleet = %d", fleet.Len())
+	}
+	el := fleet.Eligible(privacy.High)
+	if len(el) != 3 {
+		t.Fatalf("eligible = %v", el)
+	}
+}

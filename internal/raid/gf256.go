@@ -1,0 +1,89 @@
+// Package raid implements the redundancy layer the distributor applies
+// while scattering chunks ("the distributor applies Redundant Array of
+// Independent Disks (RAID) strategy... The default choice is RAID level 5.
+// In case of higher assurance, RAID level 6 is used."). Each cloud
+// provider plays the role of one disk. RAID-5 adds one XOR parity shard
+// per stripe and survives one provider outage; RAID-6 adds P (XOR) and Q
+// (Reed–Solomon over GF(2^8)) shards and survives two.
+package raid
+
+// GF(2^8) arithmetic with the polynomial x^8+x^4+x^3+x^2+1 (0x11D) — the
+// standard RAID-6 field, in which 2 is a primitive element — implemented
+// with log/antilog tables built at init.
+
+const gfPoly = 0x11D
+
+var (
+	gfExp [512]byte // generator powers, doubled to skip mod 255
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies in GF(2^8).
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides in GF(2^8); division by zero panics (programming error).
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("raid: GF(2^8) division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse.
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("raid: GF(2^8) inverse of zero")
+	}
+	return gfExp[255-int(gfLog[a])]
+}
+
+// gfPow returns g^n for the field generator g = 2.
+func gfPow(n int) byte {
+	n %= 255
+	if n < 0 {
+		n += 255
+	}
+	return gfExp[n]
+}
+
+// mulSliceXor computes dst[i] ^= c * src[i] for all i.
+func mulSliceXor(c byte, src, dst []byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	logC := int(gfLog[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[logC+int(gfLog[s])]
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package raid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGFMulBasics(t *testing.T) {
+	if gfMul(0, 5) != 0 || gfMul(5, 0) != 0 {
+		t.Fatal("0 not absorbing")
+	}
+	if gfMul(1, 77) != 77 || gfMul(77, 1) != 77 {
+		t.Fatal("1 not identity")
+	}
+	// Known values under the RAID-6 polynomial 0x11D.
+	if got := gfMul(2, 2); got != 4 {
+		t.Fatalf("2*2 = %#x, want 4", got)
+	}
+	if got := gfMul(0x80, 2); got != 0x1D {
+		t.Fatalf("0x80*2 = %#x, want 0x1D (reduction by 0x11D)", got)
+	}
+}
+
+func TestGFDivInverse(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := gfInv(byte(a))
+		if gfMul(byte(a), inv) != 1 {
+			t.Fatalf("a=%d: a·a⁻¹ != 1", a)
+		}
+		if gfDiv(byte(a), byte(a)) != 1 {
+			t.Fatalf("a=%d: a/a != 1", a)
+		}
+	}
+}
+
+func TestGFDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	gfDiv(3, 0)
+}
+
+func TestGFInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	gfInv(0)
+}
+
+func TestGFPowCycle(t *testing.T) {
+	if gfPow(0) != 1 {
+		t.Fatalf("g^0 = %d", gfPow(0))
+	}
+	if gfPow(255) != 1 {
+		t.Fatalf("g^255 = %d, want 1 (multiplicative order)", gfPow(255))
+	}
+	if gfPow(-1) != gfPow(254) {
+		t.Fatal("negative exponent not normalized")
+	}
+	// Distinct powers for 0..254 (generator property).
+	seen := map[byte]bool{}
+	for i := 0; i < 255; i++ {
+		v := gfPow(i)
+		if seen[v] {
+			t.Fatalf("g^%d repeats value %d", i, v)
+		}
+		seen[v] = true
+	}
+}
+
+// Field laws via testing/quick.
+func TestGFMulCommutativeAssociativeProperty(t *testing.T) {
+	comm := func(a, b byte) bool { return gfMul(a, b) == gfMul(b, a) }
+	if err := quick.Check(comm, nil); err != nil {
+		t.Fatal(err)
+	}
+	assoc := func(a, b, c byte) bool { return gfMul(gfMul(a, b), c) == gfMul(a, gfMul(b, c)) }
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFDistributiveProperty(t *testing.T) {
+	// Addition in GF(2^8) is XOR.
+	dist := func(a, b, c byte) bool { return gfMul(a, b^c) == gfMul(a, b)^gfMul(a, c) }
+	if err := quick.Check(dist, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFDivMulRoundTripProperty(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return gfMul(gfDiv(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulSliceXor(t *testing.T) {
+	src := []byte{1, 2, 3}
+	dst := []byte{10, 20, 30}
+	mulSliceXor(0, src, dst)
+	if dst[0] != 10 {
+		t.Fatal("c=0 must be a no-op")
+	}
+	mulSliceXor(1, src, dst)
+	if dst[0] != 11 || dst[1] != 22 || dst[2] != 29 {
+		t.Fatalf("c=1 XOR wrong: %v", dst)
+	}
+	dst2 := make([]byte, 3)
+	mulSliceXor(7, src, dst2)
+	for i := range src {
+		if dst2[i] != gfMul(7, src[i]) {
+			t.Fatalf("dst2[%d] = %d, want %d", i, dst2[i], gfMul(7, src[i]))
+		}
+	}
+}

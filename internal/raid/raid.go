@@ -1,0 +1,313 @@
+package raid
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Level selects the redundancy scheme applied to a stripe of chunks.
+type Level int
+
+const (
+	// None stores data shards with no parity (the single-provider
+	// baseline's durability story).
+	None Level = 0
+	// RAID5 adds one XOR parity shard; tolerates one lost shard.
+	RAID5 Level = 5
+	// RAID6 adds P (XOR) and Q (Reed–Solomon) shards; tolerates two.
+	RAID6 Level = 6
+)
+
+func (l Level) String() string {
+	switch l {
+	case None:
+		return "none"
+	case RAID5:
+		return "raid5"
+	case RAID6:
+		return "raid6"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// ParityShards returns how many parity shards the level adds per stripe.
+func (l Level) ParityShards() int {
+	switch l {
+	case RAID5:
+		return 1
+	case RAID6:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Valid reports whether l is a supported level.
+func (l Level) Valid() bool { return l == None || l == RAID5 || l == RAID6 }
+
+// ErrTooManyLost is returned when more shards are missing than the level
+// tolerates.
+var ErrTooManyLost = errors.New("raid: too many lost shards for this level")
+
+// ErrBadStripe is returned for malformed stripes.
+var ErrBadStripe = errors.New("raid: malformed stripe")
+
+// Stripe is one erasure-coded group: Data shards followed by parity
+// shards. All shards have equal length (data is zero-padded by Encode).
+type Stripe struct {
+	Level Level
+	// Shards holds data shards then parity shards (P, then Q for RAID6).
+	// A nil entry marks a lost shard.
+	Shards [][]byte
+	// DataShards is the number of leading data shards.
+	DataShards int
+}
+
+// Encode erasure-codes equal-length data shards into a stripe. Shards must
+// be non-empty and of equal length. The input slices are not retained.
+func Encode(level Level, data [][]byte) (*Stripe, error) {
+	if !level.Valid() {
+		return nil, fmt.Errorf("%w: unsupported level %v", ErrBadStripe, level)
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: no data shards", ErrBadStripe)
+	}
+	shardLen := len(data[0])
+	for i, d := range data {
+		if len(d) != shardLen {
+			return nil, fmt.Errorf("%w: shard %d has %d bytes, want %d", ErrBadStripe, i, len(d), shardLen)
+		}
+	}
+	k := len(data)
+	s := &Stripe{Level: level, DataShards: k}
+	s.Shards = make([][]byte, k+level.ParityShards())
+	for i, d := range data {
+		cp := make([]byte, shardLen)
+		copy(cp, d)
+		s.Shards[i] = cp
+	}
+	switch level {
+	case RAID5:
+		p := make([]byte, shardLen)
+		for _, d := range data {
+			for i, b := range d {
+				p[i] ^= b
+			}
+		}
+		s.Shards[k] = p
+	case RAID6:
+		p := make([]byte, shardLen)
+		q := make([]byte, shardLen)
+		for j, d := range data {
+			for i, b := range d {
+				p[i] ^= b
+			}
+			mulSliceXor(gfPow(j), d, q)
+		}
+		s.Shards[k] = p
+		s.Shards[k+1] = q
+	}
+	return s, nil
+}
+
+// Lost returns the indices of nil shards.
+func (s *Stripe) Lost() []int {
+	var lost []int
+	for i, sh := range s.Shards {
+		if sh == nil {
+			lost = append(lost, i)
+		}
+	}
+	return lost
+}
+
+// Reconstruct fills in nil shards if the level's tolerance allows. After a
+// successful call every shard is non-nil.
+func (s *Stripe) Reconstruct() error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	lost := s.Lost()
+	if len(lost) == 0 {
+		return nil
+	}
+	if len(lost) > s.Level.ParityShards() {
+		return fmt.Errorf("%w: %d lost, %v tolerates %d", ErrTooManyLost, len(lost), s.Level, s.Level.ParityShards())
+	}
+	shardLen := s.shardLen()
+	k := s.DataShards
+
+	switch s.Level {
+	case RAID5:
+		// Single loss: XOR of all surviving shards.
+		miss := lost[0]
+		rec := make([]byte, shardLen)
+		for i, sh := range s.Shards {
+			if i == miss {
+				continue
+			}
+			for j, b := range sh {
+				rec[j] ^= b
+			}
+		}
+		s.Shards[miss] = rec
+	case RAID6:
+		return s.reconstructRAID6(lost, k, shardLen)
+	default:
+		return fmt.Errorf("%w: %d lost, level none tolerates 0", ErrTooManyLost, len(lost))
+	}
+	return nil
+}
+
+func (s *Stripe) reconstructRAID6(lost []int, k, shardLen int) error {
+	pIdx, qIdx := k, k+1
+	isLost := map[int]bool{}
+	for _, l := range lost {
+		isLost[l] = true
+	}
+	var lostData []int
+	for _, l := range lost {
+		if l < k {
+			lostData = append(lostData, l)
+		}
+	}
+
+	// Recompute helpers over surviving data shards.
+	partialP := func(skip map[int]bool) []byte {
+		p := make([]byte, shardLen)
+		for j := 0; j < k; j++ {
+			if skip[j] || s.Shards[j] == nil {
+				continue
+			}
+			for i, b := range s.Shards[j] {
+				p[i] ^= b
+			}
+		}
+		return p
+	}
+	partialQ := func(skip map[int]bool) []byte {
+		q := make([]byte, shardLen)
+		for j := 0; j < k; j++ {
+			if skip[j] || s.Shards[j] == nil {
+				continue
+			}
+			mulSliceXor(gfPow(j), s.Shards[j], q)
+		}
+		return q
+	}
+
+	switch len(lostData) {
+	case 0:
+		// Only parity lost: recompute.
+		if isLost[pIdx] {
+			s.Shards[pIdx] = partialP(nil)
+		}
+		if isLost[qIdx] {
+			s.Shards[qIdx] = partialQ(nil)
+		}
+	case 1:
+		d := lostData[0]
+		if !isLost[pIdx] {
+			// Recover from P like RAID-5 over data+P.
+			rec := partialP(map[int]bool{d: true})
+			for i := range rec {
+				rec[i] ^= s.Shards[pIdx][i]
+			}
+			s.Shards[d] = rec
+			if isLost[qIdx] {
+				s.Shards[qIdx] = partialQ(nil)
+			}
+		} else {
+			// P lost too (or only Q available): recover d from Q.
+			rec := partialQ(map[int]bool{d: true})
+			for i := range rec {
+				rec[i] ^= s.Shards[qIdx][i]
+			}
+			inv := gfInv(gfPow(d))
+			for i := range rec {
+				rec[i] = gfMul(rec[i], inv)
+			}
+			s.Shards[d] = rec
+			if isLost[pIdx] {
+				s.Shards[pIdx] = partialP(nil)
+			}
+		}
+	case 2:
+		// Two data shards lost: need both P and Q intact.
+		if isLost[pIdx] || isLost[qIdx] {
+			return fmt.Errorf("%w: 2 data shards plus parity lost", ErrTooManyLost)
+		}
+		a, b := lostData[0], lostData[1]
+		// P ⊕ partialP = D_a ⊕ D_b            =: pr
+		// Q ⊕ partialQ = g^a·D_a ⊕ g^b·D_b   =: qr
+		pr := partialP(map[int]bool{a: true, b: true})
+		qr := partialQ(map[int]bool{a: true, b: true})
+		for i := range pr {
+			pr[i] ^= s.Shards[pIdx][i]
+			qr[i] ^= s.Shards[qIdx][i]
+		}
+		ga, gb := gfPow(a), gfPow(b)
+		denom := ga ^ gb // g^a + g^b in GF(2^8), nonzero for a != b
+		dA := make([]byte, shardLen)
+		dB := make([]byte, shardLen)
+		for i := range pr {
+			// D_a = (qr + g^b·pr) / (g^a + g^b)
+			dA[i] = gfDiv(qr[i]^gfMul(gb, pr[i]), denom)
+			dB[i] = pr[i] ^ dA[i]
+		}
+		s.Shards[a] = dA
+		s.Shards[b] = dB
+	}
+	return nil
+}
+
+// Data returns the concatenated data shards (parity excluded). All data
+// shards must be present; call Reconstruct first if any were lost.
+func (s *Stripe) Data() ([]byte, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, s.DataShards*s.shardLen())
+	for i := 0; i < s.DataShards; i++ {
+		if s.Shards[i] == nil {
+			return nil, fmt.Errorf("%w: data shard %d missing", ErrBadStripe, i)
+		}
+		out = append(out, s.Shards[i]...)
+	}
+	return out, nil
+}
+
+func (s *Stripe) shardLen() int {
+	for _, sh := range s.Shards {
+		if sh != nil {
+			return len(sh)
+		}
+	}
+	return 0
+}
+
+func (s *Stripe) validate() error {
+	if !s.Level.Valid() {
+		return fmt.Errorf("%w: unsupported level %v", ErrBadStripe, s.Level)
+	}
+	want := s.DataShards + s.Level.ParityShards()
+	if s.DataShards < 1 || len(s.Shards) != want {
+		return fmt.Errorf("%w: %d shards for %d data + %v", ErrBadStripe, len(s.Shards), s.DataShards, s.Level)
+	}
+	l := -1
+	for i, sh := range s.Shards {
+		if sh == nil {
+			continue
+		}
+		if l == -1 {
+			l = len(sh)
+		} else if len(sh) != l {
+			return fmt.Errorf("%w: shard %d has %d bytes, want %d", ErrBadStripe, i, len(sh), l)
+		}
+	}
+	if l <= 0 {
+		return fmt.Errorf("%w: all shards missing or empty", ErrBadStripe)
+	}
+	return nil
+}

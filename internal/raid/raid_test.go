@@ -1,0 +1,283 @@
+package raid
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randShards(k, n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, k)
+	for i := range out {
+		sh := make([]byte, n)
+		rng.Read(sh)
+		out[i] = sh
+	}
+	return out
+}
+
+func TestLevelProperties(t *testing.T) {
+	if None.ParityShards() != 0 || RAID5.ParityShards() != 1 || RAID6.ParityShards() != 2 {
+		t.Fatal("parity shard counts wrong")
+	}
+	if !None.Valid() || !RAID5.Valid() || !RAID6.Valid() || Level(3).Valid() {
+		t.Fatal("validity wrong")
+	}
+	if RAID5.String() != "raid5" || RAID6.String() != "raid6" || None.String() != "none" {
+		t.Fatal("strings wrong")
+	}
+	if Level(9).String() == "" {
+		t.Fatal("unknown level string empty")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	if _, err := Encode(Level(2), randShards(2, 4, 1)); !errors.Is(err, ErrBadStripe) {
+		t.Fatalf("bad level err = %v", err)
+	}
+	if _, err := Encode(RAID5, nil); !errors.Is(err, ErrBadStripe) {
+		t.Fatalf("no shards err = %v", err)
+	}
+	ragged := [][]byte{{1, 2}, {3}}
+	if _, err := Encode(RAID5, ragged); !errors.Is(err, ErrBadStripe) {
+		t.Fatalf("ragged err = %v", err)
+	}
+}
+
+func TestEncodeDoesNotAliasInput(t *testing.T) {
+	data := randShards(2, 8, 3)
+	s, err := Encode(RAID5, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0][0] ^= 0xFF
+	if s.Shards[0][0] == data[0][0] {
+		t.Fatal("stripe aliases caller's shards")
+	}
+}
+
+func TestRAID5SingleLossAllPositions(t *testing.T) {
+	data := randShards(4, 64, 7)
+	for lost := 0; lost < 5; lost++ {
+		s, err := Encode(RAID5, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]byte(nil), s.Shards[lost]...)
+		s.Shards[lost] = nil
+		if err := s.Reconstruct(); err != nil {
+			t.Fatalf("lost=%d: %v", lost, err)
+		}
+		if !bytes.Equal(s.Shards[lost], want) {
+			t.Fatalf("lost=%d: reconstruction mismatch", lost)
+		}
+	}
+}
+
+func TestRAID5TwoLossesFail(t *testing.T) {
+	s, _ := Encode(RAID5, randShards(4, 16, 9))
+	s.Shards[0] = nil
+	s.Shards[2] = nil
+	if err := s.Reconstruct(); !errors.Is(err, ErrTooManyLost) {
+		t.Fatalf("err = %v, want ErrTooManyLost", err)
+	}
+}
+
+func TestRAID6AllDoubleLossCombinations(t *testing.T) {
+	data := randShards(5, 48, 11)
+	orig, err := Encode(RAID6, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(orig.Shards) // 7
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			s, _ := Encode(RAID6, data)
+			wa := append([]byte(nil), s.Shards[a]...)
+			wb := append([]byte(nil), s.Shards[b]...)
+			s.Shards[a] = nil
+			s.Shards[b] = nil
+			if err := s.Reconstruct(); err != nil {
+				t.Fatalf("lost (%d,%d): %v", a, b, err)
+			}
+			if !bytes.Equal(s.Shards[a], wa) || !bytes.Equal(s.Shards[b], wb) {
+				t.Fatalf("lost (%d,%d): reconstruction mismatch", a, b)
+			}
+		}
+	}
+}
+
+func TestRAID6SingleLossAllPositions(t *testing.T) {
+	data := randShards(3, 32, 13)
+	for lost := 0; lost < 5; lost++ {
+		s, _ := Encode(RAID6, data)
+		want := append([]byte(nil), s.Shards[lost]...)
+		s.Shards[lost] = nil
+		if err := s.Reconstruct(); err != nil {
+			t.Fatalf("lost=%d: %v", lost, err)
+		}
+		if !bytes.Equal(s.Shards[lost], want) {
+			t.Fatalf("lost=%d: mismatch", lost)
+		}
+	}
+}
+
+func TestRAID6TripleLossFails(t *testing.T) {
+	s, _ := Encode(RAID6, randShards(4, 8, 15))
+	s.Shards[0], s.Shards[1], s.Shards[2] = nil, nil, nil
+	if err := s.Reconstruct(); !errors.Is(err, ErrTooManyLost) {
+		t.Fatalf("err = %v, want ErrTooManyLost", err)
+	}
+}
+
+func TestNoneLevelLossFails(t *testing.T) {
+	s, err := Encode(None, randShards(3, 8, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Shards) != 3 {
+		t.Fatalf("none level added parity: %d shards", len(s.Shards))
+	}
+	s.Shards[1] = nil
+	if err := s.Reconstruct(); !errors.Is(err, ErrTooManyLost) {
+		t.Fatalf("err = %v, want ErrTooManyLost", err)
+	}
+}
+
+func TestReconstructNoLossIsNoop(t *testing.T) {
+	s, _ := Encode(RAID6, randShards(3, 8, 19))
+	before := make([][]byte, len(s.Shards))
+	for i, sh := range s.Shards {
+		before[i] = append([]byte(nil), sh...)
+	}
+	if err := s.Reconstruct(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if !bytes.Equal(before[i], s.Shards[i]) {
+			t.Fatal("no-loss reconstruct changed shards")
+		}
+	}
+}
+
+func TestDataConcatenation(t *testing.T) {
+	data := [][]byte{[]byte("abcd"), []byte("efgh"), []byte("ijkl")}
+	s, _ := Encode(RAID5, data)
+	got, err := s.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abcdefghijkl" {
+		t.Fatalf("Data = %q", got)
+	}
+}
+
+func TestDataMissingShard(t *testing.T) {
+	s, _ := Encode(RAID5, randShards(3, 4, 21))
+	s.Shards[1] = nil
+	if _, err := s.Data(); !errors.Is(err, ErrBadStripe) {
+		t.Fatalf("err = %v, want ErrBadStripe", err)
+	}
+}
+
+func TestValidateCatchesCorruptStripes(t *testing.T) {
+	s, _ := Encode(RAID5, randShards(3, 4, 23))
+	s.Shards = s.Shards[:2] // wrong shard count
+	if err := s.Reconstruct(); !errors.Is(err, ErrBadStripe) {
+		t.Fatalf("err = %v", err)
+	}
+	s2, _ := Encode(RAID5, randShards(3, 4, 23))
+	s2.Shards[0] = []byte{1} // wrong length
+	if err := s2.Reconstruct(); !errors.Is(err, ErrBadStripe) {
+		t.Fatalf("err = %v", err)
+	}
+	s3 := &Stripe{Level: RAID5, DataShards: 1, Shards: [][]byte{nil, nil}}
+	if err := s3.Reconstruct(); !errors.Is(err, ErrBadStripe) {
+		t.Fatalf("all-nil err = %v", err)
+	}
+}
+
+func TestLost(t *testing.T) {
+	s, _ := Encode(RAID6, randShards(2, 4, 25))
+	if len(s.Lost()) != 0 {
+		t.Fatal("fresh stripe reports losses")
+	}
+	s.Shards[0] = nil
+	s.Shards[3] = nil
+	lost := s.Lost()
+	if len(lost) != 2 || lost[0] != 0 || lost[1] != 3 {
+		t.Fatalf("Lost = %v", lost)
+	}
+}
+
+// Property: RAID-6 stripe reconstructs exactly for any double loss, for
+// random shard counts and contents.
+func TestRAID6ReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(6)
+		n := 1 + rng.Intn(100)
+		data := randShards(k, n, seed+1)
+		s, err := Encode(RAID6, data)
+		if err != nil {
+			return false
+		}
+		total := len(s.Shards)
+		a := rng.Intn(total)
+		b := rng.Intn(total)
+		for b == a {
+			b = rng.Intn(total)
+		}
+		wa := append([]byte(nil), s.Shards[a]...)
+		wb := append([]byte(nil), s.Shards[b]...)
+		s.Shards[a] = nil
+		s.Shards[b] = nil
+		if err := s.Reconstruct(); err != nil {
+			return false
+		}
+		if !bytes.Equal(s.Shards[a], wa) || !bytes.Equal(s.Shards[b], wb) {
+			return false
+		}
+		got, err := s.Data()
+		if err != nil {
+			return false
+		}
+		want := bytes.Join(data, nil)
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parity is linear — flipping one bit of one data shard flips the
+// same bit of P.
+func TestRAID5ParityLinearityProperty(t *testing.T) {
+	f := func(seed int64, bit uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(4)
+		n := 4 + rng.Intn(32)
+		data := randShards(k, n, seed+2)
+		s1, _ := Encode(RAID5, data)
+		pos := int(bit) % n
+		which := rng.Intn(k)
+		data[which][pos] ^= 0x01
+		s2, _ := Encode(RAID5, data)
+		for i := 0; i < n; i++ {
+			want := s1.Shards[k][i]
+			if i == pos {
+				want ^= 0x01
+			}
+			if s2.Shards[k][i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

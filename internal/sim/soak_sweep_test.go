@@ -1,0 +1,21 @@
+package sim
+
+import "testing"
+
+// TestWorkloadManySeeds sweeps soak seeds; historic catches: seed 5
+// exposed update-time parity corruption via stale-parity reconstruction,
+// and longer bench sweeps exposed upload-rollback orphans on down
+// providers.
+func TestWorkloadManySeeds(t *testing.T) {
+	seeds := int64(60)
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		cfg := DefaultWorkloadConfig()
+		cfg.Seed = seed
+		if _, err := RunWorkload(cfg, 6); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

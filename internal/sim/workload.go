@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/privacy"
+	"repro/internal/provider"
+	"repro/internal/raid"
+)
+
+// WorkloadConfig parameterizes a randomized soak run against a live
+// distributor: many clients uploading, reading, range-reading, updating
+// and removing files while providers flap — the day-in-the-life test a
+// storage system has to survive.
+type WorkloadConfig struct {
+	Clients    int
+	Operations int
+	// OutageEveryN injects a one-operation provider outage every N ops
+	// (0 disables).
+	OutageEveryN int
+	// MaxFileBytes bounds generated file sizes.
+	MaxFileBytes int
+	Seed         int64
+}
+
+// DefaultWorkloadConfig is a quick but varied soak.
+func DefaultWorkloadConfig() WorkloadConfig {
+	return WorkloadConfig{Clients: 3, Operations: 200, OutageEveryN: 11, MaxFileBytes: 40 << 10, Seed: 1}
+}
+
+// WorkloadReport summarizes the soak.
+type WorkloadReport struct {
+	Uploads, Reads, RangeReads, Updates, Removes int
+	OutagesInjected                              int
+	// Verifications is the number of content checks performed; every one
+	// passed if Err is nil.
+	Verifications int
+	// OrphansGCed counts unreferenced blobs reclaimed by the final audit —
+	// the residue of operations interrupted by injected outages (e.g. an
+	// upload rollback that could not delete from a down provider).
+	OrphansGCed int
+}
+
+// RunWorkload executes the soak against a fresh distributor over
+// nProviders providers and verifies every read against a shadow copy.
+// Any divergence is an error.
+func RunWorkload(cfg WorkloadConfig, nProviders int) (WorkloadReport, error) {
+	var rep WorkloadReport
+	if cfg.Clients < 1 || cfg.Operations < 1 || nProviders < 4 {
+		return rep, fmt.Errorf("sim: workload needs >=1 client, >=1 op, >=4 providers")
+	}
+	if cfg.MaxFileBytes < 1 {
+		cfg.MaxFileBytes = 40 << 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	fleet, err := provider.NewFleet()
+	if err != nil {
+		return rep, err
+	}
+	for i := 0; i < nProviders; i++ {
+		p, err := provider.New(provider.Info{
+			Name: fmt.Sprintf("wp%02d", i), PL: privacy.High, CL: privacy.CostLevel(i % 4),
+		}, provider.Options{})
+		if err != nil {
+			return rep, err
+		}
+		if err := fleet.Add(p); err != nil {
+			return rep, err
+		}
+	}
+	d, err := core.New(core.Config{Fleet: fleet})
+	if err != nil {
+		return rep, err
+	}
+
+	// Shadow state: what each client's files must contain.
+	shadow := make([]map[string]*fileState, cfg.Clients)
+	for ci := 0; ci < cfg.Clients; ci++ {
+		name := fmt.Sprintf("client%02d", ci)
+		if err := d.RegisterClient(name); err != nil {
+			return rep, err
+		}
+		if err := d.AddPassword(name, "pw", privacy.High); err != nil {
+			return rep, err
+		}
+		shadow[ci] = map[string]*fileState{}
+	}
+	levels := []privacy.Level{privacy.Public, privacy.Low, privacy.Moderate, privacy.High}
+	fileSeq := 0
+
+	for op := 0; op < cfg.Operations; op++ {
+		// Flap a provider periodically for one operation.
+		var flapped provider.Provider
+		if cfg.OutageEveryN > 0 && op%cfg.OutageEveryN == cfg.OutageEveryN-1 {
+			p, _ := fleet.At(rng.Intn(fleet.Len()))
+			p.SetOutage(true)
+			flapped = p
+			rep.OutagesInjected++
+		}
+
+		ci := rng.Intn(cfg.Clients)
+		client := fmt.Sprintf("client%02d", ci)
+		files := shadow[ci]
+
+		// A client facing a provider outage retries once after the outage
+		// clears (real clients back off and retry; modelling the wait is
+		// unnecessary).
+		do := func(fn func() error) error {
+			err := fn()
+			if err != nil && flapped != nil {
+				flapped.SetOutage(false)
+				flapped = nil
+				err = fn()
+			}
+			return err
+		}
+
+		switch action := rng.Intn(10); {
+		case action < 4 || len(files) == 0: // upload
+			fileSeq++
+			name := fmt.Sprintf("f%04d", fileSeq)
+			pl := levels[rng.Intn(len(levels))]
+			data := dataset.RandomBytes(1+rng.Intn(cfg.MaxFileBytes), rng)
+			opts := core.UploadOptions{}
+			if rng.Intn(3) == 0 {
+				opts.Assurance = raid.RAID6
+			}
+			if rng.Intn(4) == 0 {
+				opts.MisleadFraction = 0.2
+			}
+			var info core.FileInfo
+			if err := do(func() error {
+				var uerr error
+				info, uerr = d.Upload(client, "pw", name, data, pl, opts)
+				return uerr
+			}); err != nil {
+				return rep, fmt.Errorf("op %d upload: %w", op, err)
+			}
+			size, _ := privacy.DefaultChunkSizes().Size(pl)
+			fs := &fileState{}
+			for o := 0; o < len(data); o += size {
+				hi := o + size
+				if hi > len(data) {
+					hi = len(data)
+				}
+				fs.chunksData = append(fs.chunksData, append([]byte(nil), data[o:hi]...))
+			}
+			if len(fs.chunksData) == 0 {
+				fs.chunksData = [][]byte{{}}
+			}
+			if len(fs.chunksData) != info.Chunks {
+				return rep, fmt.Errorf("op %d upload: shadow has %d chunks, distributor %d", op, len(fs.chunksData), info.Chunks)
+			}
+			files[name] = fs
+			rep.Uploads++
+		case action < 6: // full read
+			name := anyFile(files, rng)
+			got, err := d.GetFile(client, "pw", name)
+			if err != nil {
+				return rep, fmt.Errorf("op %d read %s: %w", op, name, err)
+			}
+			if !bytes.Equal(got, files[name].bytes()) {
+				return rep, fmt.Errorf("op %d read %s: content mismatch", op, name)
+			}
+			rep.Reads++
+			rep.Verifications++
+		case action < 8: // range read
+			name := anyFile(files, rng)
+			data := files[name].bytes()
+			if len(data) == 0 {
+				continue
+			}
+			o := rng.Intn(len(data))
+			l := rng.Intn(len(data) - o)
+			got, err := d.GetRange(client, "pw", name, o, l)
+			if err != nil {
+				return rep, fmt.Errorf("op %d range %s: %w", op, name, err)
+			}
+			if !bytes.Equal(got, data[o:o+l]) {
+				return rep, fmt.Errorf("op %d range %s: content mismatch", op, name)
+			}
+			rep.RangeReads++
+			rep.Verifications++
+		case action < 9: // update one chunk
+			name := anyFile(files, rng)
+			fs := files[name]
+			serial := rng.Intn(len(fs.chunksData))
+			newChunk := dataset.RandomBytes(1+rng.Intn(2<<10), rng)
+			if err := do(func() error {
+				return d.UpdateChunk(client, "pw", name, serial, newChunk, core.UploadOptions{})
+			}); err != nil {
+				return rep, fmt.Errorf("op %d update %s#%d: %w", op, name, serial, err)
+			}
+			fs.chunksData[serial] = append([]byte(nil), newChunk...)
+			rep.Updates++
+			// Verify immediately.
+			got, err := d.GetFile(client, "pw", name)
+			if err != nil {
+				return rep, fmt.Errorf("op %d post-update read %s: %w", op, name, err)
+			}
+			if sha256.Sum256(got) != sha256.Sum256(fs.bytes()) {
+				return rep, fmt.Errorf("op %d post-update %s: content mismatch", op, name)
+			}
+			rep.Verifications++
+		default: // remove
+			name := anyFile(files, rng)
+			if err := do(func() error { return d.RemoveFile(client, "pw", name) }); err != nil {
+				return rep, fmt.Errorf("op %d remove %s: %w", op, name, err)
+			}
+			delete(files, name)
+			rep.Removes++
+		}
+
+		if flapped != nil {
+			flapped.SetOutage(false)
+		}
+	}
+
+	// Final sweep: every surviving file reads back exactly.
+	for ci := 0; ci < cfg.Clients; ci++ {
+		client := fmt.Sprintf("client%02d", ci)
+		for name, fs := range shadow[ci] {
+			got, err := d.GetFile(client, "pw", name)
+			if err != nil {
+				return rep, fmt.Errorf("final read %s/%s: %w", client, name, err)
+			}
+			if !bytes.Equal(got, fs.bytes()) {
+				return rep, fmt.Errorf("final read %s/%s: content mismatch", client, name)
+			}
+			rep.Verifications++
+		}
+	}
+	// Reconcile: operations interrupted mid-outage can leave orphan blobs
+	// (an upload rollback cannot delete from a provider that is down), so
+	// run the orphan audit the way an operator would...
+	audit, err := d.AuditOrphans(true)
+	if err != nil {
+		return rep, err
+	}
+	rep.OrphansGCed = audit.Deleted
+	// ...after which table counts must match real provider contents
+	// exactly.
+	for i, p := range fleet.All() {
+		if p.Len() != d.Stats().PerProvider[i] {
+			return rep, fmt.Errorf("provider %d holds %d keys, table says %d", i, p.Len(), d.Stats().PerProvider[i])
+		}
+	}
+	return rep, nil
+}
+
+// fileState is the workload's shadow copy of one stored file, tracked
+// per chunk so variable-length chunk updates keep boundaries exact.
+type fileState struct {
+	chunksData [][]byte
+}
+
+// bytes returns the file's reassembled contents.
+func (fs *fileState) bytes() []byte {
+	var out []byte
+	for _, c := range fs.chunksData {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// anyFile picks a deterministic-but-random existing filename.
+func anyFile(files map[string]*fileState, rng *rand.Rand) string {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names[rng.Intn(len(names))]
+}

@@ -1,0 +1,257 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/privacy"
+	"repro/internal/raid"
+)
+
+// Client is a Go client for a DistributorServer — what an application
+// links against instead of talking to cloud providers directly.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient creates a distributor client.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: hc}
+}
+
+// statusToCoreError reverses the server's error mapping so callers can use
+// errors.Is against the core error values across the wire.
+func statusToCoreError(status int, msg string) error {
+	msg = strings.TrimSpace(msg)
+	switch status {
+	case http.StatusForbidden:
+		return fmt.Errorf("%w: %s", core.ErrAuth, msg)
+	case http.StatusNotFound:
+		if strings.Contains(msg, "snapshot") {
+			return fmt.Errorf("%w: %s", core.ErrNoSnapshot, msg)
+		}
+		if strings.Contains(msg, "chunk") || strings.Contains(msg, "serial") {
+			return fmt.Errorf("%w: %s", core.ErrNoSuchChunk, msg)
+		}
+		return fmt.Errorf("%w: %s", core.ErrNoSuchFile, msg)
+	case http.StatusConflict:
+		return fmt.Errorf("%w: %s", core.ErrExists, msg)
+	case http.StatusInsufficientStorage:
+		return fmt.Errorf("%w: %s", core.ErrPlacement, msg)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w: %s", core.ErrUnavailable, msg)
+	case http.StatusBadRequest:
+		return fmt.Errorf("%w: %s", core.ErrConfig, msg)
+	default:
+		return fmt.Errorf("transport: distributor status %d: %s", status, msg)
+	}
+}
+
+// post sends a JSON body and returns the raw response payload.
+func (c *Client) post(path string, req any) ([]byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("transport: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		return nil, statusToCoreError(resp.StatusCode, string(payload))
+	}
+	return payload, nil
+}
+
+func (c *Client) getJSON(path string, v any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("transport: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return statusToCoreError(resp.StatusCode, string(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// RegisterClient creates a client account on the distributor.
+func (c *Client) RegisterClient(name string) error {
+	_, err := c.post("/v1/clients", clientReq{Name: name})
+	return err
+}
+
+// AddPassword registers a ⟨password, PL⟩ pair.
+func (c *Client) AddPassword(client, password string, pl privacy.Level) error {
+	_, err := c.post("/v1/passwords", passwordReq{Client: client, Password: password, PL: int(pl)})
+	return err
+}
+
+// UploadOptions mirrors core.UploadOptions for the wire.
+type UploadOptions struct {
+	Assurance       raid.Level
+	NoParity        bool
+	MisleadFraction float64
+	Replicas        int
+	EncryptKey      []byte
+}
+
+// Upload ships a file to the distributor.
+func (c *Client) Upload(client, password, filename string, data []byte, pl privacy.Level, opts UploadOptions) (core.FileInfo, error) {
+	payload, err := c.post("/v1/upload", uploadReq{
+		Client: client, Password: password, Filename: filename,
+		PL: int(pl), Data: data,
+		Assurance: int(opts.Assurance), NoParity: opts.NoParity,
+		MisleadFraction: opts.MisleadFraction,
+		Replicas:        opts.Replicas,
+		EncryptKey:      opts.EncryptKey,
+	})
+	if err != nil {
+		return core.FileInfo{}, err
+	}
+	var info core.FileInfo
+	if err := json.Unmarshal(payload, &info); err != nil {
+		return core.FileInfo{}, err
+	}
+	return info, nil
+}
+
+// GetChunk fetches one chunk by (filename, serial).
+func (c *Client) GetChunk(client, password, filename string, serial int) ([]byte, error) {
+	return c.post("/v1/get_chunk", chunkReq{Client: client, Password: password, Filename: filename, Serial: serial})
+}
+
+// GetFile fetches a whole file.
+func (c *Client) GetFile(client, password, filename string) ([]byte, error) {
+	return c.post("/v1/get_file", fileReq{Client: client, Password: password, Filename: filename})
+}
+
+// GetSnapshot fetches a chunk's pre-modification state.
+func (c *Client) GetSnapshot(client, password, filename string, serial int) ([]byte, error) {
+	return c.post("/v1/get_snapshot", chunkReq{Client: client, Password: password, Filename: filename, Serial: serial})
+}
+
+// UpdateChunk replaces a chunk's contents.
+func (c *Client) UpdateChunk(client, password, filename string, serial int, data []byte) error {
+	_, err := c.post("/v1/update_chunk", chunkReq{Client: client, Password: password, Filename: filename, Serial: serial, Data: data})
+	return err
+}
+
+// RemoveChunk deletes one chunk.
+func (c *Client) RemoveChunk(client, password, filename string, serial int) error {
+	_, err := c.post("/v1/remove_chunk", chunkReq{Client: client, Password: password, Filename: filename, Serial: serial})
+	return err
+}
+
+// RemoveFile deletes a file.
+func (c *Client) RemoveFile(client, password, filename string) error {
+	_, err := c.post("/v1/remove_file", fileReq{Client: client, Password: password, Filename: filename})
+	return err
+}
+
+// GetRange fetches a byte range of a file.
+func (c *Client) GetRange(client, password, filename string, offset, length int) ([]byte, error) {
+	return c.post("/v1/get_range", rangeReq{Client: client, Password: password, Filename: filename, Offset: offset, Length: length})
+}
+
+// Scrub triggers a distributor-wide integrity pass.
+func (c *Client) Scrub() (core.ScrubReport, error) {
+	payload, err := c.post("/v1/admin/scrub", struct{}{})
+	if err != nil {
+		return core.ScrubReport{}, err
+	}
+	var rep core.ScrubReport
+	if err := json.Unmarshal(payload, &rep); err != nil {
+		return core.ScrubReport{}, err
+	}
+	return rep, nil
+}
+
+// Decommission evacuates the provider at the given fleet index.
+func (c *Client) Decommission(providerIndex int) (core.DecommissionReport, error) {
+	payload, err := c.post("/v1/admin/decommission", decommissionReq{ProviderIndex: providerIndex})
+	if err != nil {
+		return core.DecommissionReport{}, err
+	}
+	var rep core.DecommissionReport
+	if err := json.Unmarshal(payload, &rep); err != nil {
+		return core.DecommissionReport{}, err
+	}
+	return rep, nil
+}
+
+// ChunkCount asks how many chunks a file has.
+func (c *Client) ChunkCount(client, password, filename string) (int, error) {
+	payload, err := c.post("/v1/chunk_count", fileReq{Client: client, Password: password, Filename: filename})
+	if err != nil {
+		return 0, err
+	}
+	var out map[string]int
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return 0, err
+	}
+	return out["chunks"], nil
+}
+
+// ProviderTable fetches Table I.
+func (c *Client) ProviderTable() ([]core.ProviderRow, error) {
+	var rows []core.ProviderRow
+	err := c.getJSON("/v1/tables/providers", &rows)
+	return rows, err
+}
+
+// ClientTable fetches Table II.
+func (c *Client) ClientTable() ([]core.ClientRow, error) {
+	var rows []core.ClientRow
+	err := c.getJSON("/v1/tables/clients", &rows)
+	return rows, err
+}
+
+// ChunkTable fetches Table III.
+func (c *Client) ChunkTable() ([]core.ChunkRow, error) {
+	var rows []core.ChunkRow
+	err := c.getJSON("/v1/tables/chunks", &rows)
+	return rows, err
+}
+
+// Stats fetches distributor statistics.
+func (c *Client) Stats() (core.Stats, error) {
+	var s core.Stats
+	err := c.getJSON("/v1/stats", &s)
+	return s, err
+}
+
+// Metrics fetches the distributor's operation counters.
+func (c *Client) Metrics() (core.OpMetrics, error) {
+	var m core.OpMetrics
+	err := c.getJSON("/v1/metrics", &m)
+	return m, err
+}
+
+// Health probes the distributor.
+func (c *Client) Health() error {
+	var out map[string]string
+	if err := c.getJSON("/v1/health", &out); err != nil {
+		return err
+	}
+	if out["status"] != "ok" {
+		return fmt.Errorf("transport: distributor unhealthy: %v", out)
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/privacy"
+	"repro/internal/provider"
+)
+
+// RemoteProvider is a provider.Provider backed by a ProviderServer over
+// HTTP, letting a distributor treat a networked provider exactly like an
+// in-process one.
+type RemoteProvider struct {
+	base   string
+	client *http.Client
+	info   provider.Info
+}
+
+var _ provider.Provider = (*RemoteProvider)(nil)
+
+// DialProvider connects to a provider server and caches its identity.
+func DialProvider(baseURL string, client *http.Client) (*RemoteProvider, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	rp := &RemoteProvider{base: baseURL, client: client}
+	resp, err := client.Get(baseURL + "/v1/info")
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial provider: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("transport: dial provider: status %d", resp.StatusCode)
+	}
+	var dto infoDTO
+	if err := json.NewDecoder(resp.Body).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("transport: dial provider: %w", err)
+	}
+	rp.info = provider.Info{Name: dto.Name, PL: privacy.Level(dto.PL), CL: privacy.CostLevel(dto.CL)}
+	return rp, nil
+}
+
+// Info returns the identity cached at dial time.
+func (rp *RemoteProvider) Info() provider.Info { return rp.info }
+
+func (rp *RemoteProvider) chunkURL(key string) string {
+	return rp.base + "/v1/chunks/" + url.PathEscape(key)
+}
+
+// Put stores data under key.
+func (rp *RemoteProvider) Put(key string, data []byte) error {
+	req, err := http.NewRequest(http.MethodPut, rp.chunkURL(key), bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	resp, err := rp.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %v", provider.ErrOutage, err)
+	}
+	defer drain(resp)
+	return providerError(resp)
+}
+
+// Get fetches the value under key.
+func (rp *RemoteProvider) Get(key string) ([]byte, error) {
+	resp, err := rp.client.Get(rp.chunkURL(key))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", provider.ErrOutage, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusToProviderError(resp)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes))
+}
+
+// Delete removes key.
+func (rp *RemoteProvider) Delete(key string) error {
+	req, err := http.NewRequest(http.MethodDelete, rp.chunkURL(key), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rp.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %v", provider.ErrOutage, err)
+	}
+	defer drain(resp)
+	return providerError(resp)
+}
+
+// Down probes the health endpoint; any failure counts as down.
+func (rp *RemoteProvider) Down() bool {
+	resp, err := rp.client.Get(rp.base + "/v1/health")
+	if err != nil {
+		return true
+	}
+	defer drain(resp)
+	return resp.StatusCode != http.StatusOK
+}
+
+// SetOutage toggles the remote failure-injection switch; errors are
+// swallowed (the control plane is best-effort in simulations).
+func (rp *RemoteProvider) SetOutage(down bool) {
+	body, _ := json.Marshal(map[string]bool{"down": down})
+	resp, err := rp.client.Post(rp.base+"/v1/outage", "application/json", bytes.NewReader(body))
+	if err == nil {
+		drain(resp)
+	}
+}
+
+// Keys lists stored keys; nil on transport failure.
+func (rp *RemoteProvider) Keys() []string {
+	var keys []string
+	if err := rp.getJSON("/v1/keys", &keys); err != nil {
+		return nil
+	}
+	return keys
+}
+
+// Len returns the number of stored keys.
+func (rp *RemoteProvider) Len() int { return len(rp.Keys()) }
+
+// Dump returns the remote provider's complete contents.
+func (rp *RemoteProvider) Dump() map[string][]byte {
+	var d map[string][]byte
+	if err := rp.getJSON("/v1/dump", &d); err != nil {
+		return nil
+	}
+	return d
+}
+
+// Usage returns remote billing counters.
+func (rp *RemoteProvider) Usage() provider.Usage {
+	var u provider.Usage
+	_ = rp.getJSON("/v1/usage", &u)
+	return u
+}
+
+func (rp *RemoteProvider) getJSON(path string, v any) error {
+	resp, err := rp.client.Get(rp.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("transport: %s: status %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+}
+
+func providerError(resp *http.Response) error {
+	if resp.StatusCode == http.StatusNoContent || resp.StatusCode == http.StatusOK {
+		return nil
+	}
+	return statusToProviderError(resp)
+}
+
+func statusToProviderError(resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s", provider.ErrNotFound, bytes.TrimSpace(msg))
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w: %s", provider.ErrOutage, bytes.TrimSpace(msg))
+	case http.StatusBadGateway:
+		return fmt.Errorf("%w: %s", provider.ErrInjected, bytes.TrimSpace(msg))
+	default:
+		return fmt.Errorf("transport: provider status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+}
