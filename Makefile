@@ -1,0 +1,37 @@
+# Tier-1 gate: everything `make check` runs must stay green.
+#
+#   make check            vet + build + race tests + fuzz seed corpora
+#   make test             plain test run
+#   make fuzz             short randomized fuzzing of the codec layers
+#   FUZZTIME=30s make fuzz  longer fuzz budget
+
+GO       ?= go
+FUZZTIME ?= 5s
+
+.PHONY: check build vet test race fuzz fmt
+
+check: vet build race fuzz
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Replays and extends the seed corpora of the byte-level codecs — the
+# layers where a malformed payload must fail loudly, never corrupt.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzSplitReassemble -fuzztime $(FUZZTIME) ./internal/chunker
+	$(GO) test -run '^$$' -fuzz FuzzInjectStrip -fuzztime $(FUZZTIME) ./internal/mislead
+	$(GO) test -run '^$$' -fuzz FuzzStripHostile -fuzztime $(FUZZTIME) ./internal/mislead
+	$(GO) test -run '^$$' -fuzz FuzzEncryptDecrypt -fuzztime $(FUZZTIME) ./internal/cryptofrag
+	$(GO) test -run '^$$' -fuzz FuzzDecryptHostile -fuzztime $(FUZZTIME) ./internal/cryptofrag
+
+fmt:
+	gofmt -l -w .

@@ -87,6 +87,7 @@ var (
 	ErrUnavailable = core.ErrUnavailable
 	ErrNoSnapshot  = core.ErrNoSnapshot
 	ErrConfig      = core.ErrConfig
+	ErrCircuitOpen = core.ErrCircuitOpen
 )
 
 // ProviderSpec declares one simulated cloud provider.
@@ -226,6 +227,11 @@ func (s *System) Stats() Stats { return s.dist.Stats() }
 // Metrics returns the distributor's operation counters (reads, recovery
 // events, retries).
 func (s *System) Metrics() core.OpMetrics { return s.dist.Metrics() }
+
+// Health reports each provider's circuit-breaker state and accumulated
+// success/failure counts, as observed by the distributor's own
+// operations.
+func (s *System) Health() []core.ProviderHealth { return s.dist.Health() }
 
 // Distributor exposes the underlying distributor for advanced use
 // (tables, metadata replication, HTTP serving).

@@ -208,6 +208,25 @@ func run(c *transport.Client, cmd string, args []string, pl int, raid6 bool, mis
 		fmt.Printf("clients=%d files=%d chunks=%d parity=%d stripes=%d per-provider=%v\n",
 			s.Clients, s.Files, s.Chunks, s.ParityShards, s.Stripes, s.PerProvider)
 		return nil
+	case "health":
+		provs, err := c.ProviderHealth()
+		if err != nil {
+			return err
+		}
+		m, err := c.Metrics()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %-9s %10s %10s %8s %6s %8s\n",
+			"PROVIDER", "STATE", "SUCCESSES", "FAILURES", "CONSEC", "OPENS", "WINDOW")
+		for _, p := range provs {
+			fmt.Printf("%-12s %-9s %10d %10d %8d %6d %7.0f%%\n",
+				p.Provider, p.State, p.Successes, p.Failures,
+				p.ConsecutiveFailures, p.Opens, 100*p.WindowFailureRatio)
+		}
+		fmt.Printf("\nfailovers=%d rollback-deletes=%d circuit-opens=%d probe-successes=%d\n",
+			m.WriteFailovers, m.RollbackDeletes, m.CircuitOpens, m.ProbeSuccesses)
+		return nil
 	default:
 		usage()
 		return nil
@@ -239,6 +258,7 @@ commands:
   scrub
   decommission <provider-index>
   tables
-  stats`)
+  stats
+  health`)
 	os.Exit(2)
 }

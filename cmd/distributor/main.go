@@ -13,7 +13,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"strings"
 
 	"repro/internal/core"
@@ -53,7 +52,7 @@ func main() {
 	}
 	fmt.Printf("cloud data distributor over %d providers (default %v) listening on %s\n",
 		fleet.Len(), level, *addr)
-	log.Fatal(http.ListenAndServe(*addr, transport.NewDistributorServer(dist)))
+	log.Fatal(transport.NewHTTPServer(*addr, transport.NewDistributorServer(dist)).ListenAndServe())
 }
 
 func buildFleet(urls string, localN int) (*provider.Fleet, error) {

@@ -11,7 +11,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"time"
 
 	"repro/internal/privacy"
@@ -62,5 +61,5 @@ func main() {
 		storage = "disk:" + *dataDir
 	}
 	fmt.Printf("cloud provider %q (PL%d, CL%d, %s) listening on %s\n", *name, *pl, *cl, storage, *addr)
-	log.Fatal(http.ListenAndServe(*addr, transport.NewProviderServer(p)))
+	log.Fatal(transport.NewHTTPServer(*addr, transport.NewProviderServer(p)).ListenAndServe())
 }

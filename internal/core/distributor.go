@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"repro/internal/health"
 	"repro/internal/privacy"
 	"repro/internal/provider"
 	"repro/internal/raid"
@@ -37,6 +38,9 @@ type Config struct {
 	Parallelism int
 	// MisleadSeed makes decoy injection reproducible.
 	MisleadSeed int64
+	// Health tunes the per-provider circuit breakers. The zero value
+	// selects the health package defaults.
+	Health health.Config
 }
 
 // Distributor is the Cloud Data Distributor. All methods are safe for
@@ -51,6 +55,7 @@ type Distributor struct {
 	vids        VIDAllocator
 	parallelism int
 	misleadRNG  *rand.Rand
+	health      *health.Tracker
 
 	clients   map[string]*clientEntry
 	chunks    []chunkEntry
@@ -116,6 +121,7 @@ func New(cfg Config) (*Distributor, error) {
 		vids:        vids,
 		parallelism: par,
 		misleadRNG:  rand.New(rand.NewSource(cfg.MisleadSeed + 1)),
+		health:      health.NewTracker(cfg.Fleet.Len(), cfg.Health),
 		clients:     make(map[string]*clientEntry),
 		provCount:   make([]int, cfg.Fleet.Len()),
 	}, nil
@@ -220,6 +226,33 @@ func (d *Distributor) withTransientRetry(fn func() error) error {
 		d.counters.transientRetries.Add(1)
 	}
 	return err
+}
+
+// providerOp runs fn against fleet provider provIdx with transient
+// retries, feeding the final outcome into the health tracker. A
+// not-found reply counts as a success: the provider answered
+// authoritatively, it just has no such key.
+func (d *Distributor) providerOp(provIdx int, fn func(p provider.Provider) error) error {
+	p, err := d.fleet.At(provIdx)
+	if err != nil {
+		return err
+	}
+	err = d.withTransientRetry(func() error { return fn(p) })
+	d.health.Record(provIdx, err == nil || errors.Is(err, provider.ErrNotFound))
+	return err
+}
+
+// gatedPut is a providerOp Put that consults the circuit breaker first.
+// Only write paths that can fail over use it; reads, deletes and repair
+// traffic stay ungated (their outcomes are still recorded, so a
+// successful read closes an open circuit early).
+func (d *Distributor) gatedPut(provIdx int, vid string, payload []byte) error {
+	if !d.health.Allow(provIdx) {
+		return fmt.Errorf("%w: provider %d", ErrCircuitOpen, provIdx)
+	}
+	return d.providerOp(provIdx, func(p provider.Provider) error {
+		return p.Put(vid, payload)
+	})
 }
 
 // fanOut runs jobs with bounded parallelism and returns the first error.

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/privacy"
+)
+
+// shardKind distinguishes the three blob types an upload stages.
+type shardKind int
+
+const (
+	shardData shardKind = iota
+	shardMirror
+	shardParity
+)
+
+// stagedShard is one provider blob of an in-flight upload, carrying back
+// references into the staged tables (positions, not pointers — the
+// staging loop appends, which reallocates) so a failover can re-home the
+// shard and patch the metadata that will be committed.
+type stagedShard struct {
+	kind      shardKind
+	chunkPos  int // index into newChunks (data and mirror shards), -1 otherwise
+	mirrorPos int // index into that chunk's Mirrors (mirror shards), -1 otherwise
+	stripePos int // index into newStripes
+	parityPos int // index into that stripe's Parity (parity shards), -1 otherwise
+	provIdx   int
+	vid       string
+	payload   []byte
+	failed    map[int]bool // providers that already failed this shard
+}
+
+// storedShard locates a blob that reached a provider, for rollback.
+type storedShard struct {
+	provIdx int
+	vid     string
+}
+
+// relatedProviders collects the providers that shard i must not share:
+// the other data/parity shards of its stripe (distinct-provider RAID
+// constraint), and — for data and mirror shards — the other copies of
+// the same chunk. Mirrors of *other* chunks in the stripe are not
+// excluded, matching the staging policy.
+func relatedProviders(shards []stagedShard, i int) map[int]bool {
+	s := &shards[i]
+	ex := make(map[int]bool)
+	for j := range shards {
+		if j == i {
+			continue
+		}
+		t := &shards[j]
+		sameStripe := t.stripePos == s.stripePos &&
+			s.kind != shardMirror && t.kind != shardMirror
+		sameChunk := s.chunkPos >= 0 && t.chunkPos == s.chunkPos &&
+			(s.kind == shardMirror || t.kind == shardMirror)
+		if sameStripe || sameChunk {
+			ex[t.provIdx] = true
+		}
+	}
+	return ex
+}
+
+// shipStaged sends every staged shard to its provider with bounded
+// fan-out, failing individual shards over to the next healthy eligible
+// provider (fresh virtual id, staged tables and count deltas patched)
+// when a put exhausts its transient retries or hits an open circuit.
+// Only when a shard runs out of eligible providers does the whole write
+// fail — after rolling back every blob already stored, so the caller's
+// uncommitted staging leaves no orphans. Callers hold d.mu.
+func (d *Distributor) shipStaged(pl privacy.Level, shards []stagedShard, newChunks []chunkEntry, newStripes []stripeEntry, countDelta []int) error {
+	var stored []storedShard
+	pending := make([]int, len(shards))
+	for i := range pending {
+		pending[i] = i
+	}
+	for len(pending) > 0 {
+		jobs := make([]func() error, len(pending))
+		for k, si := range pending {
+			s := &shards[si]
+			provIdx, vid, payload := s.provIdx, s.vid, s.payload
+			jobs[k] = func() error { return d.gatedPut(provIdx, vid, payload) }
+		}
+		errs := d.fanOutEach(jobs)
+		// Record every success of this round before handling any failure:
+		// a failover-exhausted rollback must cover shards that landed
+		// after the failed one in the same round.
+		for k, si := range pending {
+			if errs[k] == nil {
+				stored = append(stored, storedShard{shards[si].provIdx, shards[si].vid})
+			}
+		}
+		var next []int
+		for k, si := range pending {
+			s := &shards[si]
+			if errs[k] == nil {
+				continue
+			}
+			// Re-home the shard: never back onto a provider that already
+			// failed it, never onto a provider holding a related shard.
+			if s.failed == nil {
+				s.failed = make(map[int]bool)
+			}
+			s.failed[s.provIdx] = true
+			exclude := relatedProviders(shards, si)
+			for p := range s.failed {
+				exclude[p] = true
+			}
+			countDelta[s.provIdx]--
+			newProv, perr := d.placeExcludingWithDelta(pl, exclude, countDelta)
+			if perr != nil {
+				d.rollbackStored(stored)
+				return fmt.Errorf("shard failover exhausted: %w (last put error: %v)", perr, errs[k])
+			}
+			countDelta[newProv]++
+			s.provIdx = newProv
+			s.vid = d.vids.Next()
+			switch s.kind {
+			case shardData:
+				newChunks[s.chunkPos].CPIndex = newProv
+				newChunks[s.chunkPos].VirtualID = s.vid
+			case shardMirror:
+				newChunks[s.chunkPos].Mirrors[s.mirrorPos] = mirrorRef{VirtualID: s.vid, CPIndex: newProv}
+			case shardParity:
+				newStripes[s.stripePos].Parity[s.parityPos] = parityShard{VirtualID: s.vid, CPIndex: newProv}
+			}
+			d.counters.writeFailovers.Add(1)
+			next = append(next, si)
+		}
+		pending = next
+	}
+	return nil
+}
+
+// rehomePut writes payload to provider firstProv under firstVID through
+// the circuit-breaker gate, failing over to freshly placed providers
+// (fresh virtual id each hop) when a put exhausts its retries or the
+// circuit is open. exclude lists providers the blob must never land on
+// — stripe mates, its own mirrors — beyond the ones that already failed
+// it. Returns the provider and virtual id that finally stored the blob;
+// the caller patches tables, counts and stale copies. Callers hold d.mu.
+func (d *Distributor) rehomePut(pl privacy.Level, firstProv int, firstVID string, payload []byte, exclude map[int]bool) (int, string, error) {
+	prov, vid := firstProv, firstVID
+	failed := make(map[int]bool)
+	for {
+		err := d.gatedPut(prov, vid, payload)
+		if err == nil {
+			return prov, vid, nil
+		}
+		failed[prov] = true
+		ex := make(map[int]bool, len(exclude)+len(failed))
+		for k := range exclude {
+			ex[k] = true
+		}
+		for k := range failed {
+			ex[k] = true
+		}
+		newProv, perr := d.placeParityExcluding(pl, ex)
+		if perr != nil {
+			return 0, "", fmt.Errorf("write failover exhausted: %w (last put error: %v)", perr, err)
+		}
+		prov = newProv
+		vid = d.vids.Next()
+		d.counters.writeFailovers.Add(1)
+	}
+}
+
+// rollbackStored best-effort deletes every blob a failed write already
+// stored. The deletes are raw — not routed through providerOp — so a
+// provider answering "not found" during cleanup does not count as a
+// success that would reset its breaker while the very put failure that
+// triggered the rollback is still the live signal.
+func (d *Distributor) rollbackStored(stored []storedShard) {
+	for _, s := range stored {
+		if p, err := d.fleet.At(s.provIdx); err == nil {
+			_ = p.Delete(s.vid)
+			d.counters.rollbackDeletes.Add(1)
+		}
+	}
+}
+
+// fanOutEach runs jobs with bounded parallelism and returns every job's
+// error, index-aligned, so the caller can fail over just the shards that
+// failed. With Parallelism 1 the semaphore serializes jobs in submission
+// order, which deterministic fault-injection tests rely on.
+func (d *Distributor) fanOutEach(jobs []func() error) []error {
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, d.parallelism)
+	var wg sync.WaitGroup
+	for i, job := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, j func() error) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = j()
+		}(i, job)
+	}
+	wg.Wait()
+	return errs
+}

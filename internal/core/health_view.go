@@ -1,0 +1,44 @@
+package core
+
+// ProviderHealth is one provider's externally visible health snapshot,
+// JSON-ready for the distributor's health endpoint and CLI.
+type ProviderHealth struct {
+	Provider            string  `json:"provider"`
+	State               string  `json:"state"` // closed | open | half-open
+	Successes           int64   `json:"successes"`
+	Failures            int64   `json:"failures"`
+	ConsecutiveFailures int     `json:"consecutive_failures"`
+	Opens               int64   `json:"opens"`
+	WindowFailureRatio  float64 `json:"window_failure_ratio"`
+	WindowSamples       int     `json:"window_samples"`
+}
+
+// Health reports every provider's circuit-breaker state and accumulated
+// success/failure counts, indexed by fleet position. It does not take
+// d.mu — the tracker has its own synchronization — so it stays readable
+// even while a slow operation holds the distributor lock.
+func (d *Distributor) Health() []ProviderHealth {
+	snap := d.health.Snapshot()
+	out := make([]ProviderHealth, len(snap))
+	for i, s := range snap {
+		name := ""
+		if p, err := d.fleet.At(i); err == nil {
+			name = p.Info().Name
+		}
+		ratio := 0.0
+		if s.WindowSamples > 0 {
+			ratio = float64(s.WindowFailures) / float64(s.WindowSamples)
+		}
+		out[i] = ProviderHealth{
+			Provider:            name,
+			State:               s.State.String(),
+			Successes:           s.Successes,
+			Failures:            s.Failures,
+			ConsecutiveFailures: s.ConsecutiveFailures,
+			Opens:               s.Opens,
+			WindowFailureRatio:  ratio,
+			WindowSamples:       s.WindowSamples,
+		}
+	}
+	return out
+}

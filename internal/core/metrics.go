@@ -16,16 +16,22 @@ type OpMetrics struct {
 	MirrorHits       int64 // payload served by a replica
 	Reconstructions  int64 // payload rebuilt from RAID peers
 	TransientRetries int64
+	WriteFailovers   int64 // shards re-placed after a put exhausted retries
+	RollbackDeletes  int64 // best-effort deletes issued unwinding a failed write
+	CircuitOpens     int64 // provider circuit-breaker open events
+	ProbeSuccesses   int64 // half-open probes that closed a circuit
 }
 
 // opCounters is the internal atomic representation.
 type opCounters struct {
 	uploads, fileReads, chunkReads, rangeReads, updates, removes atomic.Int64
 	primaryHits, mirrorHits, reconstructions, transientRetries   atomic.Int64
+	writeFailovers, rollbackDeletes                              atomic.Int64
 }
 
 // Metrics returns a snapshot of the distributor's operation counters.
 func (d *Distributor) Metrics() OpMetrics {
+	opens, probes := d.health.Totals()
 	return OpMetrics{
 		Uploads:          d.counters.uploads.Load(),
 		FileReads:        d.counters.fileReads.Load(),
@@ -37,5 +43,9 @@ func (d *Distributor) Metrics() OpMetrics {
 		MirrorHits:       d.counters.mirrorHits.Load(),
 		Reconstructions:  d.counters.reconstructions.Load(),
 		TransientRetries: d.counters.transientRetries.Load(),
+		WriteFailovers:   d.counters.writeFailovers.Load(),
+		RollbackDeletes:  d.counters.rollbackDeletes.Load(),
+		CircuitOpens:     opens,
+		ProbeSuccesses:   probes,
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/privacy"
+	"repro/internal/provider"
 )
 
 // DecommissionReport summarizes a provider evacuation.
@@ -45,8 +46,9 @@ func (d *Distributor) Decommission(provIdx int) (DecommissionReport, error) {
 			if err != nil {
 				return rep, err
 			}
-			np, _ := d.fleet.At(newIdx)
-			if err := d.withTransientRetry(func() error { return np.Put(entry.VirtualID, payload) }); err != nil {
+			if err := d.providerOp(newIdx, func(np provider.Provider) error {
+				return np.Put(entry.VirtualID, payload)
+			}); err != nil {
 				return rep, fmt.Errorf("core: decommission: rehoming chunk: %w", err)
 			}
 			_ = d.deleteJob(provIdx, entry.VirtualID)()
@@ -68,8 +70,9 @@ func (d *Distributor) Decommission(provIdx int) (DecommissionReport, error) {
 			if err != nil {
 				return rep, err
 			}
-			np, _ := d.fleet.At(newIdx)
-			if err := d.withTransientRetry(func() error { return np.Put(m.VirtualID, payload) }); err != nil {
+			if err := d.providerOp(newIdx, func(np provider.Provider) error {
+				return np.Put(m.VirtualID, payload)
+			}); err != nil {
 				return rep, fmt.Errorf("core: decommission: rehoming mirror: %w", err)
 			}
 			_ = d.deleteJob(provIdx, m.VirtualID)()
@@ -95,8 +98,9 @@ func (d *Distributor) Decommission(provIdx int) (DecommissionReport, error) {
 			if err != nil {
 				return rep, err
 			}
-			np, _ := d.fleet.At(newIdx)
-			if err := d.withTransientRetry(func() error { return np.Put(entry.SnapVID, snap) }); err != nil {
+			if err := d.providerOp(newIdx, func(np provider.Provider) error {
+				return np.Put(entry.SnapVID, snap)
+			}); err != nil {
 				return rep, fmt.Errorf("core: decommission: rehoming snapshot: %w", err)
 			}
 			_ = d.deleteJob(provIdx, entry.SnapVID)()

@@ -15,9 +15,9 @@ import (
 // level, the one with a lower cost level is given preference"), with the
 // current chunk count as a load-balancing tiebreaker. Callers hold d.mu.
 func (d *Distributor) placeShards(pl privacy.Level, n int) ([]int, error) {
-	eligible := d.fleet.Eligible(pl)
+	eligible := d.healthyEligible(pl)
 	if len(eligible) < n {
-		return nil, fmt.Errorf("%w: need %d providers with PL>=%v, have %d",
+		return nil, fmt.Errorf("%w: need %d healthy providers with PL>=%v, have %d",
 			ErrPlacement, n, pl, len(eligible))
 	}
 	sort.SliceStable(eligible, func(a, b int) bool {
@@ -34,7 +34,7 @@ func (d *Distributor) placeShards(pl privacy.Level, n int) ([]int, error) {
 // pickSnapshotProvider chooses a provider for a chunk's pre-modification
 // snapshot, distinct from the chunk's current provider. Callers hold d.mu.
 func (d *Distributor) pickSnapshotProvider(pl privacy.Level, exclude int) (int, error) {
-	eligible := d.fleet.Eligible(pl)
+	eligible := d.healthyEligible(pl)
 	var best = -1
 	for _, idx := range eligible {
 		if idx == exclude {
@@ -57,11 +57,26 @@ func (d *Distributor) pickSnapshotProvider(pl privacy.Level, exclude int) (int, 
 	return best, nil
 }
 
+// healthyEligible filters the fleet's PL-eligible providers down to the
+// ones whose circuit breaker admits new placements: a provider that has
+// been silently failing is skipped even though it still reports itself
+// up. Callers hold d.mu.
+func (d *Distributor) healthyEligible(pl privacy.Level) []int {
+	eligible := d.fleet.Eligible(pl)
+	out := eligible[:0]
+	for _, idx := range eligible {
+		if d.health.Available(idx) {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
 // effectiveWidth computes the number of data shards per stripe for a
 // privacy level and parity count: the configured stripe width, shrunk so
 // every shard of a full stripe lands on a distinct eligible provider.
 func (d *Distributor) effectiveWidth(pl privacy.Level, parity int) (int, error) {
-	eligible := len(d.fleet.Eligible(pl))
+	eligible := len(d.healthyEligible(pl))
 	w := d.stripeWidth
 	if eligible-parity < w {
 		w = eligible - parity

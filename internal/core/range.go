@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	"repro/internal/provider"
 )
 
 // GetRange serves an arbitrary byte range of a file by fetching only the
@@ -14,29 +16,32 @@ func (d *Distributor) GetRange(client, password, filename string, offset, length
 		return nil, fmt.Errorf("%w: range [%d, %d)", ErrConfig, offset, offset+length)
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	c, _, err := d.auth(client, password)
 	if err != nil {
+		d.mu.Unlock()
 		return nil, err
 	}
 	fe, ok := c.Files[filename]
 	if !ok {
+		d.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchFile, filename)
 	}
 	if _, err := d.authorize(client, password, fe.PL); err != nil {
+		d.mu.Unlock()
 		return nil, err
 	}
 	d.counters.rangeReads.Add(1)
 	if length == 0 {
+		d.mu.Unlock()
 		return []byte{}, nil
 	}
 
 	// Locate overlapping chunks by walking cumulative original sizes.
 	// Chunk original length = PayloadLen - decoy count (mislead bytes are
-	// not part of the file).
+	// not part of the file). Fetch plans for the overlapping chunks are
+	// snapshotted under the lock; the provider I/O happens outside it.
 	type span struct {
-		serial  int
-		idx     int
+		plan    fetchPlan
 		fileOff int // offset of this chunk within the file
 		origLen int
 	}
@@ -44,22 +49,25 @@ func (d *Distributor) GetRange(client, password, filename string, offset, length
 	cum := 0
 	for serial, idx := range fe.ChunkIdx {
 		if idx < 0 {
+			d.mu.Unlock()
 			return nil, fmt.Errorf("%w: serial %d was removed", ErrNoSuchChunk, serial)
 		}
 		entry := &d.chunks[idx]
-		spans = append(spans, span{serial: serial, idx: idx, fileOff: cum, origLen: entry.DataLen})
+		if cum+entry.DataLen > offset && cum < offset+length {
+			spans = append(spans, span{plan: d.planFetch(entry), fileOff: cum, origLen: entry.DataLen})
+		}
 		cum += entry.DataLen
 	}
 	if offset+length > cum {
+		d.mu.Unlock()
 		return nil, fmt.Errorf("%w: range [%d, %d) beyond file of %d bytes", ErrNoSuchChunk, offset, offset+length, cum)
 	}
+	d.mu.Unlock()
 
 	out := make([]byte, 0, length)
-	for _, sp := range spans {
-		if sp.fileOff+sp.origLen <= offset || sp.fileOff >= offset+length {
-			continue
-		}
-		data, err := d.fetchChunkLocked(&d.chunks[sp.idx])
+	for i := range spans {
+		sp := &spans[i]
+		data, err := d.fetchChunkPlan(&sp.plan)
 		if err != nil {
 			return nil, err
 		}
@@ -126,18 +134,21 @@ func (d *Distributor) Scrub() (ScrubReport, error) {
 			rep.Unrepairable++
 			continue
 		}
-		// Rewrite primary and mirrors.
+		// Rewrite primary and mirrors. Repair traffic is recorded but not
+		// gated: a scrub is exactly the kind of background write that
+		// should keep probing a struggling provider.
 		repaired := true
-		if p, e := d.fleet.At(entry.CPIndex); e == nil {
-			if e := d.withTransientRetry(func() error { return p.Put(entry.VirtualID, payload) }); e != nil {
-				repaired = false
-			}
+		if e := d.providerOp(entry.CPIndex, func(p provider.Provider) error {
+			return p.Put(entry.VirtualID, payload)
+		}); e != nil {
+			repaired = false
 		}
 		for _, m := range entry.Mirrors {
-			if p, e := d.fleet.At(m.CPIndex); e == nil {
-				if e := d.withTransientRetry(func() error { return p.Put(m.VirtualID, payload) }); e != nil {
-					repaired = false
-				}
+			m := m
+			if e := d.providerOp(m.CPIndex, func(p provider.Provider) error {
+				return p.Put(m.VirtualID, payload)
+			}); e != nil {
+				repaired = false
 			}
 		}
 		if repaired {
@@ -167,7 +178,8 @@ func (d *Distributor) healthyPayload(entry *chunkEntry) ([]byte, error) {
 			return payload, nil
 		}
 	}
-	payload, err := d.reconstructLocked(entry)
+	plan := d.planFetch(entry)
+	payload, err := d.reconstructPlan(&plan)
 	if err != nil {
 		return nil, err
 	}

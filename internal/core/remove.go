@@ -182,8 +182,10 @@ func (d *Distributor) RemoveChunk(client, password, filename string, serial int)
 			}
 			exclude[provIdx] = true
 			vid := d.vids.Next()
-			p, _ := d.fleet.At(provIdx)
-			if err := p.Put(vid, stripe.Shards[len(survivors)+pi]); err != nil {
+			shard := stripe.Shards[len(survivors)+pi]
+			if err := d.providerOp(provIdx, func(p provider.Provider) error {
+				return p.Put(vid, shard)
+			}); err != nil {
 				return fmt.Errorf("core: writing re-encoded parity: %w", err)
 			}
 			st.Parity = append(st.Parity, parityShard{VirtualID: vid, CPIndex: provIdx})
@@ -202,11 +204,11 @@ func (d *Distributor) RemoveChunk(client, password, filename string, serial int)
 	return nil
 }
 
-// placeParityExcluding picks one eligible provider not in the exclusion
-// set, preferring lower cost then lower load. Callers hold d.mu.
+// placeParityExcluding picks one healthy eligible provider not in the
+// exclusion set, preferring lower cost then lower load. Callers hold d.mu.
 func (d *Distributor) placeParityExcluding(pl privacy.Level, exclude map[int]bool) (int, error) {
 	best := -1
-	for _, idx := range d.fleet.Eligible(pl) {
+	for _, idx := range d.healthyEligible(pl) {
 		if exclude[idx] {
 			continue
 		}
@@ -228,14 +230,15 @@ func (d *Distributor) placeParityExcluding(pl privacy.Level, exclude map[int]boo
 }
 
 // deleteJob builds a fan-out job removing one key from one provider;
-// missing keys are tolerated so removals are idempotent.
+// missing keys are tolerated so removals are idempotent. The outcome
+// feeds health accounting (a not-found reply counts as a success there
+// too — the provider answered).
 func (d *Distributor) deleteJob(provIdx int, vid string) func() error {
 	return func() error {
-		p, err := d.fleet.At(provIdx)
-		if err != nil {
-			return err
-		}
-		if err := p.Delete(vid); err != nil && !errors.Is(err, provider.ErrNotFound) {
+		err := d.providerOp(provIdx, func(p provider.Provider) error {
+			return p.Delete(vid)
+		})
+		if err != nil && !errors.Is(err, provider.ErrNotFound) {
 			return err
 		}
 		return nil

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cryptofrag"
 	"repro/internal/mislead"
+	"repro/internal/provider"
 	"repro/internal/raid"
 )
 
@@ -16,13 +17,17 @@ import (
 // transparently reconstructs the chunk from the stripe's surviving shards.
 func (d *Distributor) GetChunk(client, password, filename string, serial int) ([]byte, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	entry, err := d.lookupChunk(client, password, filename, serial)
 	if err != nil {
+		d.mu.Unlock()
 		return nil, err
 	}
 	d.counters.chunkReads.Add(1)
-	return d.fetchChunkLocked(entry)
+	plan := d.planFetch(entry)
+	d.mu.Unlock()
+	// The provider round-trips happen outside d.mu so one slow or dark
+	// provider cannot stall every other client request.
+	return d.fetchChunkPlan(&plan)
 }
 
 // GetFile serves a whole file — the paper's get_file(client name,
@@ -31,28 +36,38 @@ func (d *Distributor) GetChunk(client, password, filename string, serial int) ([
 // various fragments can be accessed simultaneously").
 func (d *Distributor) GetFile(client, password, filename string) ([]byte, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	c, _, err := d.auth(client, password)
 	if err != nil {
+		d.mu.Unlock()
 		return nil, err
 	}
 	fe, ok := c.Files[filename]
 	if !ok {
+		d.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchFile, filename)
 	}
 	if _, err := d.authorize(client, password, fe.PL); err != nil {
+		d.mu.Unlock()
 		return nil, err
 	}
-	parts := make([][]byte, len(fe.ChunkIdx))
-	jobs := make([]func() error, 0, len(fe.ChunkIdx))
+	// Snapshot every chunk's fetch plan under the lock, then do all the
+	// provider I/O outside it.
+	plans := make([]fetchPlan, len(fe.ChunkIdx))
 	for serial, idx := range fe.ChunkIdx {
 		if idx < 0 {
+			d.mu.Unlock()
 			return nil, fmt.Errorf("%w: serial %d was removed", ErrNoSuchChunk, serial)
 		}
-		serial, idx := serial, idx
-		entry := &d.chunks[idx]
+		plans[serial] = d.planFetch(&d.chunks[idx])
+	}
+	d.mu.Unlock()
+
+	parts := make([][]byte, len(plans))
+	jobs := make([]func() error, 0, len(plans))
+	for serial := range plans {
+		serial := serial
 		jobs = append(jobs, func() error {
-			data, err := d.fetchChunkLocked(entry)
+			data, err := d.fetchChunkPlan(&plans[serial])
 			if err != nil {
 				return err
 			}
@@ -109,14 +124,70 @@ func (d *Distributor) lookupChunk(client, password, filename string, serial int)
 	return entry, nil
 }
 
-// fetchChunkLocked retrieves a chunk's original bytes: provider get (or
-// RAID reconstruction), mislead stripping, checksum verification.
-func (d *Distributor) fetchChunkLocked(entry *chunkEntry) ([]byte, error) {
-	payload, err := d.fetchPayloadLocked(entry)
+// fetchPlan is an immutable snapshot of everything needed to serve one
+// chunk read — the chunk entry plus its stripe geometry — taken under
+// d.mu so the provider round-trips can happen without the lock.
+type fetchPlan struct {
+	entry       chunkEntry // deep enough copy: Mirrors slice is cloned
+	level       raid.Level
+	shardLen    int
+	dataShards  int
+	parityCount int
+	targetSlot  int        // this chunk's slot in the stripe, -1 if unknown
+	siblings    []shardRef // surviving members and parity, slot-addressed
+}
+
+// shardRef locates one stripe shard for reconstruction.
+type shardRef struct {
+	slot       int
+	provIdx    int
+	vid        string
+	payloadLen int
+}
+
+// planFetch snapshots entry and its stripe. Callers hold d.mu.
+func (d *Distributor) planFetch(entry *chunkEntry) fetchPlan {
+	plan := fetchPlan{entry: *entry, targetSlot: -1}
+	plan.entry.Mirrors = append([]mirrorRef(nil), entry.Mirrors...)
+	st := &d.stripes[entry.StripeID]
+	plan.level = st.Level
+	plan.shardLen = st.ShardLen
+	plan.dataShards = len(st.Members)
+	plan.parityCount = len(st.Parity)
+	for i, cidx := range st.Members {
+		m := &d.chunks[cidx]
+		if m.VirtualID == entry.VirtualID {
+			plan.targetSlot = i
+			continue
+		}
+		plan.siblings = append(plan.siblings, shardRef{
+			slot: i, provIdx: m.CPIndex, vid: m.VirtualID, payloadLen: m.PayloadLen,
+		})
+	}
+	for i, ps := range st.Parity {
+		plan.siblings = append(plan.siblings, shardRef{
+			slot: plan.dataShards + i, provIdx: ps.CPIndex, vid: ps.VirtualID, payloadLen: st.ShardLen,
+		})
+	}
+	return plan
+}
+
+// fetchChunkPlan retrieves a chunk's original bytes from a plan:
+// provider get (or RAID reconstruction), mislead stripping, checksum
+// verification. It takes no locks.
+func (d *Distributor) fetchChunkPlan(plan *fetchPlan) ([]byte, error) {
+	payload, err := d.fetchPayloadPlan(plan)
 	if err != nil {
 		return nil, err
 	}
-	return stripAndVerify(entry, payload)
+	return stripAndVerify(&plan.entry, payload)
+}
+
+// fetchChunkLocked is the lock-holding shim for mutation paths that
+// already own d.mu and need a chunk's bytes mid-operation.
+func (d *Distributor) fetchChunkLocked(entry *chunkEntry) ([]byte, error) {
+	plan := d.planFetch(entry)
+	return d.fetchChunkPlan(&plan)
 }
 
 // stripAndVerify recovers a chunk's original bytes from its stored
@@ -142,10 +213,11 @@ func stripAndVerify(entry *chunkEntry, payload []byte) ([]byte, error) {
 	return data, nil
 }
 
-// fetchPayloadLocked returns the stored payload (post-mislead bytes). The
+// fetchPayloadPlan returns the stored payload (post-mislead bytes). The
 // fallback ladder is: primary provider → mirror replicas → RAID
-// reconstruction from the stripe.
-func (d *Distributor) fetchPayloadLocked(entry *chunkEntry) ([]byte, error) {
+// reconstruction from the stripe. It takes no locks.
+func (d *Distributor) fetchPayloadPlan(plan *fetchPlan) ([]byte, error) {
+	entry := &plan.entry
 	if payload, ok := d.tryGet(entry.CPIndex, entry.VirtualID, entry.PayloadLen); ok {
 		d.counters.primaryHits.Add(1)
 		return payload, nil
@@ -156,22 +228,26 @@ func (d *Distributor) fetchPayloadLocked(entry *chunkEntry) ([]byte, error) {
 			return payload, nil
 		}
 	}
-	payload, err := d.reconstructLocked(entry)
+	payload, err := d.reconstructPlan(plan)
 	if err == nil {
 		d.counters.reconstructions.Add(1)
 	}
 	return payload, err
 }
 
-// tryGet fetches one blob with transient-failure retry; a wrong length
-// (provider-side truncation) counts as failure.
+// fetchPayloadLocked is the lock-holding shim for mutation paths.
+func (d *Distributor) fetchPayloadLocked(entry *chunkEntry) ([]byte, error) {
+	plan := d.planFetch(entry)
+	return d.fetchPayloadPlan(&plan)
+}
+
+// tryGet fetches one blob with transient-failure retry, feeding the
+// outcome into the provider's health accounting; a wrong length
+// (provider-side truncation) counts as failure for the caller but not
+// for the breaker — the provider did answer.
 func (d *Distributor) tryGet(provIdx int, vid string, wantLen int) ([]byte, bool) {
-	p, err := d.fleet.At(provIdx)
-	if err != nil {
-		return nil, false
-	}
 	var payload []byte
-	err = d.withTransientRetry(func() error {
+	err := d.providerOp(provIdx, func(p provider.Provider) error {
 		var e error
 		payload, e = p.Get(vid)
 		return e
@@ -182,56 +258,43 @@ func (d *Distributor) tryGet(provIdx int, vid string, wantLen int) ([]byte, bool
 	return payload, true
 }
 
-// reconstructLocked rebuilds one chunk from the surviving members of its
-// stripe.
-func (d *Distributor) reconstructLocked(entry *chunkEntry) ([]byte, error) {
-	st := &d.stripes[entry.StripeID]
-	if st.Level.ParityShards() == 0 {
+// reconstructPlan rebuilds one chunk from the surviving members of its
+// stripe, as snapshotted in the plan. It takes no locks.
+func (d *Distributor) reconstructPlan(plan *fetchPlan) ([]byte, error) {
+	if plan.level.ParityShards() == 0 {
 		return nil, fmt.Errorf("%w: provider down and no parity (raid level none)", ErrUnavailable)
 	}
-	shards := make([][]byte, len(st.Members)+len(st.Parity))
-	targetSlot := -1
-	for i, cidx := range st.Members {
-		m := &d.chunks[cidx]
-		if m.VirtualID == entry.VirtualID {
-			targetSlot = i
-			continue // the shard we're rebuilding
-		}
-		payload, err := d.rawShard(m.CPIndex, m.VirtualID, st.ShardLen, m.PayloadLen)
+	if plan.targetSlot == -1 {
+		return nil, fmt.Errorf("%w: chunk not a member of its stripe", ErrUnavailable)
+	}
+	shards := make([][]byte, plan.dataShards+plan.parityCount)
+	for _, ref := range plan.siblings {
+		payload, err := d.rawShard(ref.provIdx, ref.vid, plan.shardLen, ref.payloadLen)
 		if err != nil {
 			continue // surviving-shard fetch failed; leave nil for decoder
 		}
-		shards[i] = payload
+		shards[ref.slot] = payload
 	}
-	if targetSlot == -1 {
-		return nil, fmt.Errorf("%w: chunk not a member of its stripe", ErrUnavailable)
-	}
-	for i, ps := range st.Parity {
-		payload, err := d.rawShard(ps.CPIndex, ps.VirtualID, st.ShardLen, st.ShardLen)
-		if err != nil {
-			continue
-		}
-		shards[len(st.Members)+i] = payload
-	}
-	stripe := &raid.Stripe{Level: st.Level, Shards: shards, DataShards: len(st.Members)}
+	stripe := &raid.Stripe{Level: plan.level, Shards: shards, DataShards: plan.dataShards}
 	if err := stripe.Reconstruct(); err != nil {
 		return nil, fmt.Errorf("%w: reconstruction failed: %v", ErrUnavailable, err)
 	}
-	rebuilt := stripe.Shards[targetSlot]
-	if len(rebuilt) < entry.PayloadLen {
+	rebuilt := stripe.Shards[plan.targetSlot]
+	if len(rebuilt) < plan.entry.PayloadLen {
 		return nil, fmt.Errorf("%w: rebuilt shard shorter than payload", ErrUnavailable)
 	}
-	return rebuilt[:entry.PayloadLen], nil
+	return rebuilt[:plan.entry.PayloadLen], nil
 }
 
-// rawShard fetches one shard and zero-pads it to the stripe's shard
-// length so parity math lines up.
+// rawShard fetches one shard with transient retry and zero-pads it to
+// the stripe's shard length so parity math lines up.
 func (d *Distributor) rawShard(provIdx int, vid string, shardLen, payloadLen int) ([]byte, error) {
-	p, err := d.fleet.At(provIdx)
-	if err != nil {
-		return nil, err
-	}
-	payload, err := p.Get(vid)
+	var payload []byte
+	err := d.providerOp(provIdx, func(p provider.Provider) error {
+		var e error
+		payload, e = p.Get(vid)
+		return e
+	})
 	if err != nil {
 		return nil, err
 	}

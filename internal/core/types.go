@@ -46,6 +46,10 @@ var (
 	ErrNoSnapshot = errors.New("core: no snapshot for chunk")
 	// ErrConfig is returned for invalid distributor configuration.
 	ErrConfig = errors.New("core: invalid configuration")
+	// ErrCircuitOpen is returned when a write is refused because the
+	// target provider's circuit breaker is open. Write paths with
+	// failover treat it like a put failure and re-place the shard.
+	ErrCircuitOpen = errors.New("core: provider circuit open")
 )
 
 // chunkEntry is one row of the paper's Chunk Table (Table III): "the

@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/cryptofrag"
 	"repro/internal/mislead"
+	"repro/internal/privacy"
+	"repro/internal/provider"
 	"repro/internal/raid"
 )
 
@@ -52,14 +54,15 @@ func (d *Distributor) UpdateChunk(client, password, filename string, serial int,
 		}
 	}
 
-	// Store the snapshot on a provider distinct from the current one.
+	// Store the snapshot on a provider distinct from the current one,
+	// failing over to other providers if the chosen one rejects the put.
 	spIdx, err := d.pickSnapshotProvider(entry.PL, entry.CPIndex)
 	if err != nil {
 		return err
 	}
-	snapVID := d.vids.Next()
-	sp, _ := d.fleet.At(spIdx)
-	if err := sp.Put(snapVID, oldPayload); err != nil {
+	spIdx, snapVID, err := d.rehomePut(entry.PL, spIdx, d.vids.Next(), oldPayload,
+		map[int]bool{entry.CPIndex: true})
+	if err != nil {
 		return fmt.Errorf("core: writing snapshot: %w", err)
 	}
 	// Retire any previous snapshot.
@@ -96,18 +99,55 @@ func (d *Distributor) UpdateChunk(client, password, filename string, serial int,
 		return err
 	}
 
-	// Write the post-state, to the primary and to every mirror.
-	p, _ := d.fleet.At(entry.CPIndex)
-	if err := p.Put(entry.VirtualID, payload); err != nil {
-		return fmt.Errorf("core: writing post-state: %w", err)
+	// Write the post-state, to the primary and to every mirror. A failed
+	// primary put re-homes the chunk on another healthy provider under a
+	// fresh virtual id (the stale blob is deleted best-effort, so even an
+	// unreachable one is later detectable as a VID orphan).
+	exclude := make(map[int]bool)
+	for _, cidx := range st.Members {
+		if m := &d.chunks[cidx]; m.VirtualID != entry.VirtualID {
+			exclude[m.CPIndex] = true
+		}
+	}
+	for _, ps := range st.Parity {
+		exclude[ps.CPIndex] = true
 	}
 	for _, m := range entry.Mirrors {
-		mp, err := d.fleet.At(m.CPIndex)
-		if err != nil {
-			return err
+		exclude[m.CPIndex] = true
+	}
+	newProv, newVID, err := d.rehomePut(entry.PL, entry.CPIndex, entry.VirtualID, payload, exclude)
+	if err != nil {
+		return fmt.Errorf("core: writing post-state: %w", err)
+	}
+	if newProv != entry.CPIndex {
+		if old, e := d.fleet.At(entry.CPIndex); e == nil {
+			_ = old.Delete(entry.VirtualID)
 		}
-		if err := mp.Put(m.VirtualID, payload); err != nil {
+		d.provCount[entry.CPIndex]--
+		d.provCount[newProv]++
+		entry.CPIndex = newProv
+		entry.VirtualID = newVID
+	}
+	for mi := range entry.Mirrors {
+		m := &entry.Mirrors[mi]
+		mex := map[int]bool{entry.CPIndex: true}
+		for _, other := range entry.Mirrors {
+			if other.VirtualID != m.VirtualID {
+				mex[other.CPIndex] = true
+			}
+		}
+		mProv, mVID, err := d.rehomePut(entry.PL, m.CPIndex, m.VirtualID, payload, mex)
+		if err != nil {
 			return fmt.Errorf("core: writing post-state mirror: %w", err)
+		}
+		if mProv != m.CPIndex {
+			if old, e := d.fleet.At(m.CPIndex); e == nil {
+				_ = old.Delete(m.VirtualID)
+			}
+			d.provCount[m.CPIndex]--
+			d.provCount[mProv]++
+			m.CPIndex = mProv
+			m.VirtualID = mVID
 		}
 	}
 	entry.Mislead = inj
@@ -151,7 +191,9 @@ func chunkIndexOf(d *Distributor, entry *chunkEntry) int {
 }
 
 // writeParityLocked pads member payloads to the stripe's shard length,
-// encodes parity and writes each parity shard to its provider.
+// encodes parity and writes each parity shard to its provider, failing a
+// rejected parity put over to another healthy provider distinct from the
+// rest of the stripe.
 func (d *Distributor) writeParityLocked(st *stripeEntry, payloads [][]byte) error {
 	padded := make([][]byte, len(payloads))
 	for i, p := range payloads {
@@ -163,13 +205,36 @@ func (d *Distributor) writeParityLocked(st *stripeEntry, payloads [][]byte) erro
 	if err != nil {
 		return fmt.Errorf("core: re-encode: %w", err)
 	}
-	for pi, ps := range st.Parity {
-		p, err := d.fleet.At(ps.CPIndex)
-		if err != nil {
-			return err
+	var pl privacy.Level
+	exclude := make(map[int]bool)
+	for _, cidx := range st.Members {
+		exclude[d.chunks[cidx].CPIndex] = true
+		pl = d.chunks[cidx].PL
+	}
+	for _, ps := range st.Parity {
+		exclude[ps.CPIndex] = true
+	}
+	for pi := range st.Parity {
+		ps := &st.Parity[pi]
+		ex := make(map[int]bool, len(exclude))
+		for k := range exclude {
+			if k != ps.CPIndex {
+				ex[k] = true
+			}
 		}
-		if err := d.withTransientRetry(func() error { return p.Put(ps.VirtualID, stripe.Shards[len(payloads)+pi]) }); err != nil {
+		prov, vid, err := d.rehomePut(pl, ps.CPIndex, ps.VirtualID, stripe.Shards[len(payloads)+pi], ex)
+		if err != nil {
 			return fmt.Errorf("core: rewriting parity: %w", err)
+		}
+		if prov != ps.CPIndex {
+			if old, e := d.fleet.At(ps.CPIndex); e == nil {
+				_ = old.Delete(ps.VirtualID)
+			}
+			d.provCount[ps.CPIndex]--
+			d.provCount[prov]++
+			exclude[prov] = true
+			ps.CPIndex = prov
+			ps.VirtualID = vid
 		}
 	}
 	return nil
@@ -182,19 +247,28 @@ func (d *Distributor) writeParityLocked(st *stripeEntry, payloads [][]byte) erro
 // the request otherwise.
 func (d *Distributor) GetSnapshot(client, password, filename string, serial int) ([]byte, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	entry, err := d.lookupChunk(client, password, filename, serial)
 	if err != nil {
+		d.mu.Unlock()
 		return nil, err
 	}
 	if entry.SnapVID == "" || entry.SPIndex < 0 {
+		d.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s#%d", ErrNoSnapshot, filename, serial)
 	}
-	sp, err := d.fleet.At(entry.SPIndex)
+	spIdx, snapVID := entry.SPIndex, entry.SnapVID
+	d.mu.Unlock()
+	// Fetch outside the lock; the outcome still feeds health accounting.
+	var payload []byte
+	err = d.providerOp(spIdx, func(p provider.Provider) error {
+		var e error
+		payload, e = p.Get(snapVID)
+		return e
+	})
 	if err != nil {
 		return nil, err
 	}
-	return sp.Get(entry.SnapVID)
+	return payload, nil
 }
 
 // reencodeStripeLocked recomputes and rewrites a stripe's parity shards by

@@ -103,13 +103,8 @@ func (d *Distributor) Upload(client, password, filename string, data []byte, pl 
 	fe := &fileEntry{Filename: filename, PL: pl, Raid: level, ChunkIdx: make([]int, len(chunks))}
 
 	// Stage everything; only commit tables and counts after all provider
-	// puts succeed.
-	type putJob struct {
-		provIdx int
-		vid     string
-		payload []byte
-	}
-	var jobs []putJob
+	// puts succeed (possibly after per-shard failover).
+	var shards []stagedShard
 	newChunks := make([]chunkEntry, 0, len(chunks))
 	newStripes := make([]stripeEntry, 0, (len(chunks)+width-1)/width)
 	baseChunkIdx := len(d.chunks)
@@ -137,12 +132,14 @@ func (d *Distributor) Upload(client, password, filename string, data []byte, pl 
 			return FileInfo{}, err
 		}
 
-		st := stripeEntry{ID: baseStripeIdx + len(newStripes), Level: level, ShardLen: shardLen}
+		stripePos := len(newStripes)
+		st := stripeEntry{ID: baseStripeIdx + stripePos, Level: level, ShardLen: shardLen}
 		padded := make([][]byte, len(group))
 		for gi, p := range group {
 			serial := start + gi
 			vid := d.vids.Next()
 			provIdx := placement[gi]
+			chunkPos := len(newChunks)
 			ce := chunkEntry{
 				VirtualID:  vid,
 				PL:         pl,
@@ -169,15 +166,23 @@ func (d *Distributor) Upload(client, password, filename string, data []byte, pl 
 				exclude[mIdx] = true
 				mvid := d.vids.Next()
 				ce.Mirrors = append(ce.Mirrors, mirrorRef{VirtualID: mvid, CPIndex: mIdx})
-				jobs = append(jobs, putJob{provIdx: mIdx, vid: mvid, payload: p.payload})
+				shards = append(shards, stagedShard{
+					kind: shardMirror, chunkPos: chunkPos, mirrorPos: r,
+					stripePos: stripePos, parityPos: -1,
+					provIdx: mIdx, vid: mvid, payload: p.payload,
+				})
 				countDelta[mIdx]++
 			}
 
-			idx := baseChunkIdx + len(newChunks)
+			idx := baseChunkIdx + chunkPos
 			newChunks = append(newChunks, ce)
 			fe.ChunkIdx[serial] = idx
 			st.Members = append(st.Members, idx)
-			jobs = append(jobs, putJob{provIdx: provIdx, vid: vid, payload: p.payload})
+			shards = append(shards, stagedShard{
+				kind: shardData, chunkPos: chunkPos, mirrorPos: -1,
+				stripePos: stripePos, parityPos: -1,
+				provIdx: provIdx, vid: vid, payload: p.payload,
+			})
 			countDelta[provIdx]++
 
 			pad := make([]byte, shardLen)
@@ -193,33 +198,22 @@ func (d *Distributor) Upload(client, password, filename string, data []byte, pl 
 				vid := d.vids.Next()
 				provIdx := placement[len(group)+pi]
 				st.Parity = append(st.Parity, parityShard{VirtualID: vid, CPIndex: provIdx})
-				jobs = append(jobs, putJob{provIdx: provIdx, vid: vid, payload: stripe.Shards[len(group)+pi]})
+				shards = append(shards, stagedShard{
+					kind: shardParity, chunkPos: -1, mirrorPos: -1,
+					stripePos: stripePos, parityPos: pi,
+					provIdx: provIdx, vid: vid, payload: stripe.Shards[len(group)+pi],
+				})
 				countDelta[provIdx]++
 			}
 		}
 		newStripes = append(newStripes, st)
 	}
 
-	// Ship all shards to providers with bounded fan-out.
-	fns := make([]func() error, len(jobs))
-	for i, j := range jobs {
-		j := j
-		fns[i] = func() error {
-			p, err := d.fleet.At(j.provIdx)
-			if err != nil {
-				return err
-			}
-			return d.withTransientRetry(func() error { return p.Put(j.vid, j.payload) })
-		}
-	}
-	if err := d.fanOut(fns); err != nil {
-		// Roll back anything already stored so a failed upload leaves no
-		// orphan shards.
-		for _, j := range jobs {
-			if p, e := d.fleet.At(j.provIdx); e == nil {
-				_ = p.Delete(j.vid)
-			}
-		}
+	// Ship all shards with bounded fan-out, failing individual shards
+	// over to other healthy providers; shipStaged rolls back anything
+	// already stored if a shard runs out of providers, so a failed
+	// upload leaves no orphan blobs and no table rows.
+	if err := d.shipStaged(pl, shards, newChunks, newStripes, countDelta); err != nil {
 		return FileInfo{}, fmt.Errorf("core: upload aborted: %w", err)
 	}
 

@@ -1,0 +1,74 @@
+package provider
+
+import "sync"
+
+// Hooked wraps a Provider with observation/abort hooks on the data plane.
+// Unlike SetOutage — which makes Down() report the outage so the fleet's
+// eligibility filter hides the provider from placement — a Hooked failure
+// is silent: the provider still claims to be up while its operations
+// fail. That is exactly the misbehavior the distributor's health tracker
+// exists to catch, so tests and simulations use Hooked to stage
+// mid-upload faults and sustained silent outages.
+type Hooked struct {
+	Provider
+
+	mu        sync.Mutex
+	puts      int
+	beforePut func(n int, key string) error
+	beforeGet func(key string) error
+}
+
+// NewHooked wraps p.
+func NewHooked(p Provider) *Hooked { return &Hooked{Provider: p} }
+
+// SetBeforePut installs fn, called before every Put with the 1-based
+// ordinal of that Put on this provider; a non-nil return aborts the Put
+// with that error before anything is stored. nil removes the hook.
+func (h *Hooked) SetBeforePut(fn func(n int, key string) error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.beforePut = fn
+}
+
+// SetBeforeGet installs fn, called before every Get; a non-nil return
+// aborts the Get with that error. nil removes the hook.
+func (h *Hooked) SetBeforeGet(fn func(key string) error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.beforeGet = fn
+}
+
+// Puts returns how many Put calls reached this provider (aborted or not).
+func (h *Hooked) Puts() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.puts
+}
+
+// Put counts the call, consults the hook, then delegates.
+func (h *Hooked) Put(key string, data []byte) error {
+	h.mu.Lock()
+	h.puts++
+	n := h.puts
+	fn := h.beforePut
+	h.mu.Unlock()
+	if fn != nil {
+		if err := fn(n, key); err != nil {
+			return err
+		}
+	}
+	return h.Provider.Put(key, data)
+}
+
+// Get consults the hook, then delegates.
+func (h *Hooked) Get(key string) ([]byte, error) {
+	h.mu.Lock()
+	fn := h.beforeGet
+	h.mu.Unlock()
+	if fn != nil {
+		if err := fn(key); err != nil {
+			return nil, err
+		}
+	}
+	return h.Provider.Get(key)
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/health"
+	"repro/internal/privacy"
+	"repro/internal/provider"
+)
+
+// OutageConfig parameterizes a sustained silent-outage scenario: one
+// provider accepts connections but fails every data-plane operation for
+// the whole run (the April-2011-style failure the paper opens with),
+// while clients keep writing and reading. A few full-fleet blackouts are
+// staged mid-upload to force partial-upload rollbacks.
+type OutageConfig struct {
+	Providers int // fleet size, >= 6
+	Uploads   int // phase-1 uploads against the dark fleet
+	Blackouts int // phase-2 induced rollback events
+	FileBytes int // size of each generated file
+	Seed      int64
+}
+
+// DefaultOutageConfig exercises failover, circuit breaking and rollback
+// in well under a second.
+func DefaultOutageConfig() OutageConfig {
+	return OutageConfig{Providers: 8, Uploads: 40, Blackouts: 3, FileBytes: 24 << 10, Seed: 7}
+}
+
+// OutageReport is the scenario's outcome.
+type OutageReport struct {
+	UploadsAttempted int
+	UploadsSucceeded int
+	ReadsVerified    int
+	RollbacksInduced int
+	// Orphans counts provider-resident blobs unreachable from the tables
+	// after the run — must be zero if rollback and failover are airtight.
+	Orphans int
+	Metrics core.OpMetrics
+	Health  []core.ProviderHealth
+}
+
+// RunSustainedOutage runs the scenario and verifies every read against
+// the written content. Upload success is expected to stay >= 99% despite
+// the dark provider; the report carries the counters the caller asserts
+// on (WriteFailovers, CircuitOpens, RollbackDeletes).
+func RunSustainedOutage(cfg OutageConfig) (OutageReport, error) {
+	var rep OutageReport
+	if cfg.Providers < 6 || cfg.Uploads < 1 {
+		return rep, fmt.Errorf("sim: sustained outage needs >=6 providers, >=1 upload")
+	}
+	if cfg.FileBytes < 1 {
+		cfg.FileBytes = 24 << 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	fleet, err := provider.NewFleet()
+	if err != nil {
+		return rep, err
+	}
+	hooked := make([]*provider.Hooked, cfg.Providers)
+	for i := 0; i < cfg.Providers; i++ {
+		mem, err := provider.New(provider.Info{
+			Name: fmt.Sprintf("op%02d", i), PL: privacy.High, CL: 1,
+		}, provider.Options{})
+		if err != nil {
+			return rep, err
+		}
+		hooked[i] = provider.NewHooked(mem)
+		if err := fleet.Add(hooked[i]); err != nil {
+			return rep, err
+		}
+	}
+	// A short cooldown lets circuits opened by the staged blackouts heal
+	// within the run; the permanently dark provider keeps re-tripping its
+	// breaker on every failed probe.
+	d, err := core.New(core.Config{
+		Fleet:  fleet,
+		Health: health.Config{Cooldown: 5 * time.Millisecond},
+	})
+	if err != nil {
+		return rep, err
+	}
+	if err := d.RegisterClient("acme"); err != nil {
+		return rep, err
+	}
+	if err := d.AddPassword("acme", "pw", privacy.High); err != nil {
+		return rep, err
+	}
+
+	// Provider 0 goes silently dark: still "up", every Put and Get fails.
+	dark := func(h *provider.Hooked) {
+		h.SetBeforePut(func(int, string) error { return provider.ErrOutage })
+		h.SetBeforeGet(func(string) error { return provider.ErrOutage })
+	}
+	dark(hooked[0])
+
+	upload := func(name string) error {
+		data := make([]byte, cfg.FileBytes)
+		rng.Read(data)
+		rep.UploadsAttempted++
+		if _, err := d.Upload("acme", "pw", name, data, privacy.Moderate, core.UploadOptions{}); err != nil {
+			return nil // counted as a failed upload, not a scenario error
+		}
+		rep.UploadsSucceeded++
+		got, err := d.GetFile("acme", "pw", name)
+		if err != nil {
+			return fmt.Errorf("sim: readback %s: %w", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			return fmt.Errorf("sim: readback %s: content mismatch", name)
+		}
+		rep.ReadsVerified++
+		return nil
+	}
+
+	// Phase 1: sustained writes and reads with the dark provider in the
+	// fleet. Failover must keep the success rate up; the health tracker
+	// must learn to stop placing on it.
+	for i := 0; i < cfg.Uploads; i++ {
+		if err := upload(fmt.Sprintf("file%03d", i)); err != nil {
+			return rep, err
+		}
+	}
+
+	// Phase 2: fleet-wide blackouts striking mid-upload. The first couple
+	// of shard puts land, then every provider goes dark, failover
+	// exhausts placement, and the upload must roll the landed shards
+	// back cleanly; after the blackout lifts, normal traffic heals the
+	// tripped breakers.
+	for b := 0; b < cfg.Blackouts; b++ {
+		var gateMu sync.Mutex
+		landed := 0
+		gate := func(int, string) error {
+			gateMu.Lock()
+			defer gateMu.Unlock()
+			landed++
+			if landed > 2 {
+				return provider.ErrOutage
+			}
+			return nil
+		}
+		for _, h := range hooked[1:] {
+			h.SetBeforePut(gate)
+		}
+		data := make([]byte, cfg.FileBytes)
+		rng.Read(data)
+		if _, err := d.Upload("acme", "pw", fmt.Sprintf("doomed%02d", b), data, privacy.Moderate, core.UploadOptions{}); err == nil {
+			return rep, fmt.Errorf("sim: blackout upload %d unexpectedly succeeded", b)
+		}
+		rep.RollbacksInduced++
+		for _, h := range hooked[1:] {
+			h.SetBeforePut(nil)
+			h.SetBeforeGet(nil)
+		}
+		time.Sleep(10 * time.Millisecond) // let breaker cooldowns elapse
+		if err := upload(fmt.Sprintf("heal%02d", b)); err != nil {
+			return rep, err
+		}
+	}
+
+	// Reconcile: no blob anywhere that the tables don't account for, and
+	// the tables' per-provider counts match what providers actually hold.
+	audit, err := d.AuditOrphans(false)
+	if err != nil {
+		return rep, err
+	}
+	for _, keys := range audit.Orphans {
+		rep.Orphans += len(keys)
+	}
+	st := d.Stats()
+	for i, h := range hooked {
+		if h.Len() != st.PerProvider[i] {
+			return rep, fmt.Errorf("sim: provider %d holds %d blobs, tables say %d", i, h.Len(), st.PerProvider[i])
+		}
+	}
+	rep.Metrics = d.Metrics()
+	rep.Health = d.Health()
+	return rep, nil
+}

@@ -1,0 +1,40 @@
+package sim
+
+import "testing"
+
+func TestSustainedOutageScenario(t *testing.T) {
+	rep, err := RunSustainedOutage(DefaultOutageConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase1 := rep.UploadsAttempted - rep.RollbacksInduced
+	if rate := float64(rep.UploadsSucceeded) / float64(phase1); rate < 0.99 {
+		t.Fatalf("upload success rate %.3f with one dark provider, want >= 0.99 (%d/%d)",
+			rate, rep.UploadsSucceeded, phase1)
+	}
+	if rep.ReadsVerified != rep.UploadsSucceeded {
+		t.Fatalf("reads verified = %d, uploads succeeded = %d", rep.ReadsVerified, rep.UploadsSucceeded)
+	}
+	if rep.RollbacksInduced == 0 {
+		t.Fatal("no rollbacks were induced; the scenario lost its teeth")
+	}
+	if rep.Orphans != 0 {
+		t.Fatalf("%d orphaned blobs after failovers and rollbacks", rep.Orphans)
+	}
+	m := rep.Metrics
+	if m.WriteFailovers == 0 {
+		t.Fatal("WriteFailovers = 0; the dark provider was never failed over")
+	}
+	if m.CircuitOpens == 0 {
+		t.Fatal("CircuitOpens = 0; sustained failures never tripped a breaker")
+	}
+	if m.RollbackDeletes == 0 {
+		t.Fatal("RollbackDeletes = 0; blackout uploads left nothing to roll back?")
+	}
+	if rep.Health[0].State == "closed" {
+		t.Fatalf("dark provider breaker state = closed at end of run (health: %+v)", rep.Health[0])
+	}
+	if rep.Health[0].Failures == 0 {
+		t.Fatal("dark provider recorded no failures")
+	}
+}

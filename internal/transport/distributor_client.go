@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,9 +17,14 @@ import (
 
 // Client is a Go client for a DistributorServer — what an application
 // links against instead of talking to cloud providers directly.
+// Idempotent requests (reads, table fetches) are retried with jittered
+// exponential backoff on network errors; mutations are never retried at
+// this layer, since a request that died on the wire may still have been
+// applied.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry *retrier
 }
 
 // NewClient creates a distributor client.
@@ -26,7 +32,11 @@ func NewClient(baseURL string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = &http.Client{Timeout: 30 * time.Second}
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), http: hc}
+	return &Client{
+		base:  strings.TrimRight(baseURL, "/"),
+		http:  hc,
+		retry: newRetrier(),
+	}
 }
 
 // statusToCoreError reverses the server's error mapping so callers can use
@@ -57,15 +67,33 @@ func statusToCoreError(status int, msg string) error {
 	}
 }
 
-// post sends a JSON body and returns the raw response payload.
+// post sends a JSON body once and returns the raw response payload.
 func (c *Client) post(path string, req any) ([]byte, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
+	return c.postOnce(path, body)
+}
+
+// netError marks a failure at the transport layer — the request never
+// produced an HTTP response, so for idempotent calls it is safe to retry.
+type netError struct{ err error }
+
+func (e *netError) Error() string { return e.err.Error() }
+func (e *netError) Unwrap() error { return e.err }
+
+// isNetworkError reports whether err came from the transport itself (no
+// HTTP response at all) rather than from a server status.
+func isNetworkError(err error) bool {
+	var ne *netError
+	return errors.As(err, &ne)
+}
+
+func (c *Client) postOnce(path string, body []byte) ([]byte, error) {
 	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("transport: %s: %w", path, err)
+		return nil, &netError{fmt.Errorf("transport: %s: %w", path, err)}
 	}
 	defer resp.Body.Close()
 	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes))
@@ -78,17 +106,46 @@ func (c *Client) post(path string, req any) ([]byte, error) {
 	return payload, nil
 }
 
-func (c *Client) getJSON(path string, v any) error {
-	resp, err := c.http.Get(c.base + path)
+// postIdempotent is post with network-error retry, for read-only
+// endpoints where replaying the request cannot double-apply anything.
+// A fresh reader is built per attempt, so partially consumed bodies
+// never poison a retry.
+func (c *Client) postIdempotent(path string, req any) ([]byte, error) {
+	body, err := json.Marshal(req)
 	if err != nil {
-		return fmt.Errorf("transport: %s: %w", path, err)
+		return nil, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return statusToCoreError(resp.StatusCode, string(msg))
+	var payload []byte
+	for attempt := 0; ; attempt++ {
+		payload, err = c.postOnce(path, body)
+		if err == nil || !isNetworkError(err) || attempt >= netRetries-1 {
+			return payload, err
+		}
+		c.retry.sleep(c.retry.backoff(attempt))
 	}
-	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func (c *Client) getJSON(path string, v any) error {
+	var lastErr error
+	for attempt := 0; attempt < netRetries; attempt++ {
+		if attempt > 0 {
+			c.retry.sleep(c.retry.backoff(attempt - 1))
+		}
+		resp, err := c.http.Get(c.base + path)
+		if err != nil {
+			lastErr = &netError{fmt.Errorf("transport: %s: %w", path, err)}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			return statusToCoreError(resp.StatusCode, string(msg))
+		}
+		err = json.NewDecoder(resp.Body).Decode(v)
+		resp.Body.Close()
+		return err
+	}
+	return lastErr
 }
 
 // RegisterClient creates a client account on the distributor.
@@ -134,17 +191,17 @@ func (c *Client) Upload(client, password, filename string, data []byte, pl priva
 
 // GetChunk fetches one chunk by (filename, serial).
 func (c *Client) GetChunk(client, password, filename string, serial int) ([]byte, error) {
-	return c.post("/v1/get_chunk", chunkReq{Client: client, Password: password, Filename: filename, Serial: serial})
+	return c.postIdempotent("/v1/get_chunk", chunkReq{Client: client, Password: password, Filename: filename, Serial: serial})
 }
 
 // GetFile fetches a whole file.
 func (c *Client) GetFile(client, password, filename string) ([]byte, error) {
-	return c.post("/v1/get_file", fileReq{Client: client, Password: password, Filename: filename})
+	return c.postIdempotent("/v1/get_file", fileReq{Client: client, Password: password, Filename: filename})
 }
 
 // GetSnapshot fetches a chunk's pre-modification state.
 func (c *Client) GetSnapshot(client, password, filename string, serial int) ([]byte, error) {
-	return c.post("/v1/get_snapshot", chunkReq{Client: client, Password: password, Filename: filename, Serial: serial})
+	return c.postIdempotent("/v1/get_snapshot", chunkReq{Client: client, Password: password, Filename: filename, Serial: serial})
 }
 
 // UpdateChunk replaces a chunk's contents.
@@ -167,7 +224,7 @@ func (c *Client) RemoveFile(client, password, filename string) error {
 
 // GetRange fetches a byte range of a file.
 func (c *Client) GetRange(client, password, filename string, offset, length int) ([]byte, error) {
-	return c.post("/v1/get_range", rangeReq{Client: client, Password: password, Filename: filename, Offset: offset, Length: length})
+	return c.postIdempotent("/v1/get_range", rangeReq{Client: client, Password: password, Filename: filename, Offset: offset, Length: length})
 }
 
 // Scrub triggers a distributor-wide integrity pass.
@@ -198,7 +255,7 @@ func (c *Client) Decommission(providerIndex int) (core.DecommissionReport, error
 
 // ChunkCount asks how many chunks a file has.
 func (c *Client) ChunkCount(client, password, filename string) (int, error) {
-	payload, err := c.post("/v1/chunk_count", fileReq{Client: client, Password: password, Filename: filename})
+	payload, err := c.postIdempotent("/v1/chunk_count", fileReq{Client: client, Password: password, Filename: filename})
 	if err != nil {
 		return 0, err
 	}
@@ -244,14 +301,25 @@ func (c *Client) Metrics() (core.OpMetrics, error) {
 	return m, err
 }
 
-// Health probes the distributor.
+// Health probes the distributor; a degraded status (any circuit not
+// closed) is still a healthy endpoint, so only transport failures and
+// an empty status are errors.
 func (c *Client) Health() error {
-	var out map[string]string
+	var out healthDTO
 	if err := c.getJSON("/v1/health", &out); err != nil {
 		return err
 	}
-	if out["status"] != "ok" {
-		return fmt.Errorf("transport: distributor unhealthy: %v", out)
+	if out.Status == "" {
+		return fmt.Errorf("transport: distributor unhealthy: %+v", out)
 	}
 	return nil
+}
+
+// ProviderHealth fetches the per-provider circuit-breaker view.
+func (c *Client) ProviderHealth() ([]core.ProviderHealth, error) {
+	var out healthDTO
+	if err := c.getJSON("/v1/health", &out); err != nil {
+		return nil, err
+	}
+	return out.Providers, nil
 }

@@ -60,7 +60,7 @@ func coreStatus(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, core.ErrPlacement):
 		return http.StatusInsufficientStorage
-	case errors.Is(err, core.ErrUnavailable):
+	case errors.Is(err, core.ErrUnavailable), errors.Is(err, core.ErrCircuitOpen):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, core.ErrConfig):
 		return http.StatusBadRequest
@@ -319,6 +319,21 @@ func (s *DistributorServer) metrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.d.Metrics())
 }
 
+// healthDTO is the GET /v1/health body: overall status plus the
+// per-provider circuit-breaker view.
+type healthDTO struct {
+	Status    string                `json:"status"`
+	Providers []core.ProviderHealth `json:"providers"`
+}
+
 func (s *DistributorServer) health(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]string{"status": "ok"})
+	provs := s.d.Health()
+	status := "ok"
+	for _, p := range provs {
+		if p.State != "closed" {
+			status = "degraded"
+			break
+		}
+	}
+	writeJSON(w, healthDTO{Status: status, Providers: provs})
 }

@@ -1,0 +1,21 @@
+package transport
+
+import (
+	"net/http"
+	"time"
+)
+
+// NewHTTPServer wraps a handler in an http.Server with conservative
+// timeouts so a stalled or malicious peer cannot pin a connection (and
+// its goroutine) forever. The write timeout is generous because blob
+// transfers can be tens of megabytes over slow links.
+func NewHTTPServer(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       5 * time.Minute,
+	}
+}

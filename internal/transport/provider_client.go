@@ -20,6 +20,7 @@ type RemoteProvider struct {
 	base   string
 	client *http.Client
 	info   provider.Info
+	retry  *retrier
 }
 
 var _ provider.Provider = (*RemoteProvider)(nil)
@@ -29,7 +30,7 @@ func DialProvider(baseURL string, client *http.Client) (*RemoteProvider, error) 
 	if client == nil {
 		client = &http.Client{Timeout: 10 * time.Second}
 	}
-	rp := &RemoteProvider{base: baseURL, client: client}
+	rp := &RemoteProvider{base: baseURL, client: client, retry: newRetrier()}
 	resp, err := client.Get(baseURL + "/v1/info")
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial provider: %w", err)
@@ -53,45 +54,74 @@ func (rp *RemoteProvider) chunkURL(key string) string {
 	return rp.base + "/v1/chunks/" + url.PathEscape(key)
 }
 
+// withNetRetry runs op with jittered exponential backoff on failures at
+// the network layer (no HTTP response at all). Provider operations are
+// key-addressed and idempotent — re-putting the same blob, re-getting,
+// or re-deleting a key cannot double-apply — so retrying is always safe
+// here. Server-status errors are returned without retry: the provider
+// answered, and the distributor's own transient-retry and circuit
+// breaker handle those.
+func (rp *RemoteProvider) withNetRetry(op func() (netFail bool, err error)) error {
+	for attempt := 0; ; attempt++ {
+		netFail, err := op()
+		if err == nil || !netFail || attempt >= netRetries-1 {
+			return err
+		}
+		rp.retry.sleep(rp.retry.backoff(attempt))
+	}
+}
+
 // Put stores data under key.
 func (rp *RemoteProvider) Put(key string, data []byte) error {
-	req, err := http.NewRequest(http.MethodPut, rp.chunkURL(key), bytes.NewReader(data))
-	if err != nil {
-		return err
-	}
-	resp, err := rp.client.Do(req)
-	if err != nil {
-		return fmt.Errorf("%w: %v", provider.ErrOutage, err)
-	}
-	defer drain(resp)
-	return providerError(resp)
+	return rp.withNetRetry(func() (bool, error) {
+		req, err := http.NewRequest(http.MethodPut, rp.chunkURL(key), bytes.NewReader(data))
+		if err != nil {
+			return false, err
+		}
+		resp, err := rp.client.Do(req)
+		if err != nil {
+			return true, fmt.Errorf("%w: %v", provider.ErrOutage, err)
+		}
+		defer drain(resp)
+		return false, providerError(resp)
+	})
 }
 
 // Get fetches the value under key.
 func (rp *RemoteProvider) Get(key string) ([]byte, error) {
-	resp, err := rp.client.Get(rp.chunkURL(key))
+	var data []byte
+	err := rp.withNetRetry(func() (bool, error) {
+		resp, err := rp.client.Get(rp.chunkURL(key))
+		if err != nil {
+			return true, fmt.Errorf("%w: %v", provider.ErrOutage, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return false, statusToProviderError(resp)
+		}
+		data, err = io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes))
+		return false, err
+	})
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", provider.ErrOutage, err)
+		return nil, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, statusToProviderError(resp)
-	}
-	return io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes))
+	return data, nil
 }
 
 // Delete removes key.
 func (rp *RemoteProvider) Delete(key string) error {
-	req, err := http.NewRequest(http.MethodDelete, rp.chunkURL(key), nil)
-	if err != nil {
-		return err
-	}
-	resp, err := rp.client.Do(req)
-	if err != nil {
-		return fmt.Errorf("%w: %v", provider.ErrOutage, err)
-	}
-	defer drain(resp)
-	return providerError(resp)
+	return rp.withNetRetry(func() (bool, error) {
+		req, err := http.NewRequest(http.MethodDelete, rp.chunkURL(key), nil)
+		if err != nil {
+			return false, err
+		}
+		resp, err := rp.client.Do(req)
+		if err != nil {
+			return true, fmt.Errorf("%w: %v", provider.ErrOutage, err)
+		}
+		defer drain(resp)
+		return false, providerError(resp)
+	})
 }
 
 // Down probes the health endpoint; any failure counts as down.

@@ -1,0 +1,40 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// netRetries bounds retry attempts for idempotent requests that fail at
+// the network layer, and netRetryBase is the first backoff step.
+const (
+	netRetries   = 3
+	netRetryBase = 50 * time.Millisecond
+)
+
+// retrier provides jittered exponential backoff with an injectable
+// sleep, shared by the distributor and provider clients.
+type retrier struct {
+	sleep func(time.Duration) // injectable for tests
+
+	mu     sync.Mutex
+	jitter *rand.Rand
+}
+
+func newRetrier() *retrier {
+	return &retrier{
+		sleep:  time.Sleep,
+		jitter: rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// backoff returns the jittered exponential delay before retry attempt n
+// (0-based): base·2ⁿ plus up to one extra base, so simultaneous clients
+// don't retry in lockstep.
+func (r *retrier) backoff(n int) time.Duration {
+	r.mu.Lock()
+	j := time.Duration(r.jitter.Int63n(int64(netRetryBase)))
+	r.mu.Unlock()
+	return netRetryBase<<uint(n) + j
+}
