@@ -88,6 +88,8 @@ var (
 	ErrNoSnapshot  = core.ErrNoSnapshot
 	ErrConfig      = core.ErrConfig
 	ErrCircuitOpen = core.ErrCircuitOpen
+	ErrRange       = core.ErrRange
+	ErrConflict    = core.ErrConflict
 )
 
 // ProviderSpec declares one simulated cloud provider.

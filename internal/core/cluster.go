@@ -19,7 +19,10 @@ type metadataSnapshot struct {
 }
 
 // ExportMetadata serializes the distributor's tables for replication to
-// secondary distributors.
+// secondary distributors. Because mutations stage off-table and only
+// touch the live tables in their commit phase (under d.mu), the snapshot
+// always reflects a consistent committed state: no half-shipped upload's
+// rows, pending provider counts or reservations ever leak into it.
 func (d *Distributor) ExportMetadata() ([]byte, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()

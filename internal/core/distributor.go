@@ -60,7 +60,17 @@ type Distributor struct {
 	clients   map[string]*clientEntry
 	chunks    []chunkEntry
 	stripes   []stripeEntry
-	provCount []int // chunks+parity currently on each fleet index
+	provCount []int // committed chunks+parity on each fleet index
+
+	// Write-path staging state. Mutations run in plan → ship → commit
+	// phases: provider I/O happens without d.mu, so the shards a request
+	// has placed but not yet committed must stay visible to concurrent
+	// planners (provPending, for load balancing) and to the orphan audit
+	// (inflight, so shipped-but-uncommitted blobs are never collected).
+	provPending []int           // staged, uncommitted shards per fleet index
+	inflight    map[string]int  // virtual id → open tickets referencing it
+	reserved    map[string]bool // client+"\x00"+filename of in-flight uploads
+	gen         uint64          // bumped on every committed mutation
 
 	counters opCounters
 	encNonce uint64
@@ -124,6 +134,9 @@ func New(cfg Config) (*Distributor, error) {
 		health:      health.NewTracker(cfg.Fleet.Len(), cfg.Health),
 		clients:     make(map[string]*clientEntry),
 		provCount:   make([]int, cfg.Fleet.Len()),
+		provPending: make([]int, cfg.Fleet.Len()),
+		inflight:    make(map[string]int),
+		reserved:    make(map[string]bool),
 	}, nil
 }
 
@@ -255,29 +268,23 @@ func (d *Distributor) gatedPut(provIdx int, vid string, payload []byte) error {
 	})
 }
 
-// fanOut runs jobs with bounded parallelism and returns the first error.
+// fanOut runs jobs with bounded parallelism. All jobs run to completion;
+// the distinct failures (several providers often report the same outage
+// string) are joined so a multi-provider failure is diagnosable from one
+// message instead of whichever error won the race.
 func (d *Distributor) fanOut(jobs []func() error) error {
 	if len(jobs) == 0 {
 		return nil
 	}
-	sem := make(chan struct{}, d.parallelism)
-	errCh := make(chan error, len(jobs))
-	var wg sync.WaitGroup
-	for _, job := range jobs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(j func() error) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errCh <- j()
-		}(job)
-	}
-	wg.Wait()
-	close(errCh)
-	for err := range errCh {
-		if err != nil {
-			return err
+	errs := d.fanOutEach(jobs)
+	seen := make(map[string]bool)
+	var distinct []error
+	for _, err := range errs {
+		if err == nil || seen[err.Error()] {
+			continue
 		}
+		seen[err.Error()] = true
+		distinct = append(distinct, err)
 	}
-	return nil
+	return errors.Join(distinct...)
 }

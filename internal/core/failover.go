@@ -38,6 +38,71 @@ type storedShard struct {
 	vid     string
 }
 
+// writeTicket tracks what one in-flight mutation has staged but not yet
+// committed: the per-provider shard deltas (mirrored into d.provPending
+// so concurrent planners balance load against them) and the staged
+// virtual ids (registered in d.inflight so the orphan audit never
+// collects a blob that is shipped but not yet committed). A ticket ends
+// in exactly one of commitTicketLocked or releaseTicketLocked.
+type writeTicket struct {
+	delta []int
+	vids  []string
+}
+
+// newTicketLocked opens a ticket. Callers hold d.mu.
+func (d *Distributor) newTicketLocked() *writeTicket {
+	return &writeTicket{delta: make([]int, d.fleet.Len())}
+}
+
+// stageLocked records one staged blob on provIdx. Callers hold d.mu.
+func (d *Distributor) stageLocked(t *writeTicket, provIdx int, vid string) {
+	t.delta[provIdx]++
+	d.provPending[provIdx]++
+	d.inflight[vid]++
+	t.vids = append(t.vids, vid)
+}
+
+// unstageProviderLocked moves one staged blob off provIdx because a
+// failover is about to re-home it. The superseded vid stays registered
+// until the ticket ends — it only shields a doomed blob from the audit a
+// little longer. Callers hold d.mu.
+func (d *Distributor) unstageProviderLocked(t *writeTicket, provIdx int) {
+	t.delta[provIdx]--
+	d.provPending[provIdx]--
+}
+
+// releaseTicketLocked withdraws the ticket's pending load and inflight
+// registrations without touching committed counts — the abort path.
+// Callers hold d.mu.
+func (d *Distributor) releaseTicketLocked(t *writeTicket) {
+	for i, n := range t.delta {
+		d.provPending[i] -= n
+	}
+	for _, vid := range t.vids {
+		if d.inflight[vid]--; d.inflight[vid] <= 0 {
+			delete(d.inflight, vid)
+		}
+	}
+	t.delta = nil
+	t.vids = nil
+}
+
+// commitTicketLocked folds the staged shard deltas into the committed
+// provider counts and releases the ticket. Callers hold d.mu.
+func (d *Distributor) commitTicketLocked(t *writeTicket) {
+	for i, n := range t.delta {
+		d.provCount[i] += n
+	}
+	d.releaseTicketLocked(t)
+}
+
+// releaseTicket is releaseTicketLocked for callers outside the lock.
+func (d *Distributor) releaseTicket(t *writeTicket) {
+	d.mu.Lock()
+	d.releaseTicketLocked(t)
+	d.mu.Unlock()
+}
+
 // relatedProviders collects the providers that shard i must not share:
 // the other data/parity shards of its stripe (distinct-provider RAID
 // constraint), and — for data and mirror shards — the other copies of
@@ -64,12 +129,18 @@ func relatedProviders(shards []stagedShard, i int) map[int]bool {
 
 // shipStaged sends every staged shard to its provider with bounded
 // fan-out, failing individual shards over to the next healthy eligible
-// provider (fresh virtual id, staged tables and count deltas patched)
-// when a put exhausts its transient retries or hits an open circuit.
-// Only when a shard runs out of eligible providers does the whole write
-// fail — after rolling back every blob already stored, so the caller's
-// uncommitted staging leaves no orphans. Callers hold d.mu.
-func (d *Distributor) shipStaged(pl privacy.Level, shards []stagedShard, newChunks []chunkEntry, newStripes []stripeEntry, countDelta []int) error {
+// provider (fresh virtual id, staged tables and ticket patched) when a
+// put exhausts its transient retries or hits an open circuit. Only when
+// a shard runs out of eligible providers does the whole write fail —
+// after rolling back every blob already stored, so the caller's
+// uncommitted staging leaves no orphans. Runs WITHOUT d.mu: the provider
+// round-trips are the slow part of every upload, and holding the lock
+// here would serialize all clients behind one slow provider. Only the
+// failover placement decisions re-acquire the lock briefly (the VID
+// allocator and the pending-load accounting live under it). newChunks
+// and newStripes are private to the calling request until its commit, so
+// patching them here is race-free.
+func (d *Distributor) shipStaged(pl privacy.Level, shards []stagedShard, newChunks []chunkEntry, newStripes []stripeEntry, t *writeTicket) error {
 	var stored []storedShard
 	pending := make([]int, len(shards))
 	for i := range pending {
@@ -107,15 +178,18 @@ func (d *Distributor) shipStaged(pl privacy.Level, shards []stagedShard, newChun
 			for p := range s.failed {
 				exclude[p] = true
 			}
-			countDelta[s.provIdx]--
-			newProv, perr := d.placeExcludingWithDelta(pl, exclude, countDelta)
+			d.mu.Lock()
+			d.unstageProviderLocked(t, s.provIdx)
+			newProv, perr := d.placeParityExcluding(pl, exclude)
 			if perr != nil {
+				d.mu.Unlock()
 				d.rollbackStored(stored)
 				return fmt.Errorf("shard failover exhausted: %w (last put error: %v)", perr, errs[k])
 			}
-			countDelta[newProv]++
 			s.provIdx = newProv
 			s.vid = d.vids.Next()
+			d.stageLocked(t, newProv, s.vid)
+			d.mu.Unlock()
 			switch s.kind {
 			case shardData:
 				newChunks[s.chunkPos].CPIndex = newProv
@@ -139,8 +213,11 @@ func (d *Distributor) shipStaged(pl privacy.Level, shards []stagedShard, newChun
 // circuit is open. exclude lists providers the blob must never land on
 // — stripe mates, its own mirrors — beyond the ones that already failed
 // it. Returns the provider and virtual id that finally stored the blob;
-// the caller patches tables, counts and stale copies. Callers hold d.mu.
-func (d *Distributor) rehomePut(pl privacy.Level, firstProv int, firstVID string, payload []byte, exclude map[int]bool) (int, string, error) {
+// the caller patches tables and stale copies at commit. Runs WITHOUT
+// d.mu — only the failover placement re-acquires it. The blob must
+// already be staged on t at (firstProv, firstVID); every hop moves the
+// staging with it, so on error the ticket no longer counts this blob.
+func (d *Distributor) rehomePut(pl privacy.Level, firstProv int, firstVID string, payload []byte, exclude map[int]bool, t *writeTicket) (int, string, error) {
 	prov, vid := firstProv, firstVID
 	failed := make(map[int]bool)
 	for {
@@ -156,12 +233,17 @@ func (d *Distributor) rehomePut(pl privacy.Level, firstProv int, firstVID string
 		for k := range failed {
 			ex[k] = true
 		}
+		d.mu.Lock()
+		d.unstageProviderLocked(t, prov)
 		newProv, perr := d.placeParityExcluding(pl, ex)
 		if perr != nil {
+			d.mu.Unlock()
 			return 0, "", fmt.Errorf("write failover exhausted: %w (last put error: %v)", perr, err)
 		}
-		prov = newProv
 		vid = d.vids.Next()
+		d.stageLocked(t, newProv, vid)
+		d.mu.Unlock()
+		prov = newProv
 		d.counters.writeFailovers.Add(1)
 	}
 }

@@ -7,13 +7,21 @@ import (
 	"repro/internal/privacy"
 )
 
+// loadLocked is a provider's committed shard count plus the shards that
+// in-flight writes have staged on it — the quantity placement balances,
+// so concurrent writers spread out instead of all picking the provider
+// that looked emptiest at the same instant. Callers hold d.mu.
+func (d *Distributor) loadLocked(idx int) int {
+	return d.provCount[idx] + d.provPending[idx]
+}
+
 // placeShards chooses n distinct providers for one stripe's shards. The
 // policy is the paper's: only providers with privacy level ≥ pl are
 // eligible ("A chunk is given to a provider having equal or higher
 // privacy level compared to the privacy level of the chunk"); among
 // eligible providers, lower cost level wins ("in case of equal privacy
 // level, the one with a lower cost level is given preference"), with the
-// current chunk count as a load-balancing tiebreaker. Callers hold d.mu.
+// current load as a balancing tiebreaker. Callers hold d.mu.
 func (d *Distributor) placeShards(pl privacy.Level, n int) ([]int, error) {
 	eligible := d.healthyEligible(pl)
 	if len(eligible) < n {
@@ -26,9 +34,34 @@ func (d *Distributor) placeShards(pl privacy.Level, n int) ([]int, error) {
 		if ia.Info().CL != ib.Info().CL {
 			return ia.Info().CL < ib.Info().CL
 		}
-		return d.provCount[eligible[a]] < d.provCount[eligible[b]]
+		return d.loadLocked(eligible[a]) < d.loadLocked(eligible[b])
 	})
 	return eligible[:n], nil
+}
+
+// placeParityExcluding picks one healthy eligible provider not in the
+// exclusion set, preferring lower cost then lower load. Callers hold d.mu.
+func (d *Distributor) placeParityExcluding(pl privacy.Level, exclude map[int]bool) (int, error) {
+	best := -1
+	for _, idx := range d.healthyEligible(pl) {
+		if exclude[idx] {
+			continue
+		}
+		if best == -1 {
+			best = idx
+			continue
+		}
+		pi, _ := d.fleet.At(idx)
+		pb, _ := d.fleet.At(best)
+		if pi.Info().CL < pb.Info().CL ||
+			(pi.Info().CL == pb.Info().CL && d.loadLocked(idx) < d.loadLocked(best)) {
+			best = idx
+		}
+	}
+	if best == -1 {
+		return 0, fmt.Errorf("%w: no provider for re-encoded parity", ErrPlacement)
+	}
+	return best, nil
 }
 
 // pickSnapshotProvider chooses a provider for a chunk's pre-modification
@@ -47,7 +80,7 @@ func (d *Distributor) pickSnapshotProvider(pl privacy.Level, exclude int) (int, 
 		pi, _ := d.fleet.At(idx)
 		pb, _ := d.fleet.At(best)
 		if pi.Info().CL < pb.Info().CL ||
-			(pi.Info().CL == pb.Info().CL && d.provCount[idx] < d.provCount[best]) {
+			(pi.Info().CL == pb.Info().CL && d.loadLocked(idx) < d.loadLocked(best)) {
 			best = idx
 		}
 	}

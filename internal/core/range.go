@@ -11,6 +11,9 @@ import (
 // §VII-E comparison ("This approach exploits the benefit of parallel
 // query processing as various fragments can be accessed simultaneously"):
 // a point query touches one or two chunks instead of the whole object.
+// Overlapping chunks are fetched with the same bounded fan-out as
+// GetFile; the output is assembled in file order regardless of which
+// fetch finishes first.
 func (d *Distributor) GetRange(client, password, filename string, offset, length int) ([]byte, error) {
 	if offset < 0 || length < 0 {
 		return nil, fmt.Errorf("%w: range [%d, %d)", ErrConfig, offset, offset+length)
@@ -60,17 +63,32 @@ func (d *Distributor) GetRange(client, password, filename string, offset, length
 	}
 	if offset+length > cum {
 		d.mu.Unlock()
-		return nil, fmt.Errorf("%w: range [%d, %d) beyond file of %d bytes", ErrNoSuchChunk, offset, offset+length, cum)
+		return nil, fmt.Errorf("%w: [%d, %d) beyond file of %d bytes", ErrRange, offset, offset+length, cum)
 	}
 	d.mu.Unlock()
+
+	// Fan the span fetches out; each result lands in its own slot so the
+	// assembly below sees them in file order.
+	parts := make([][]byte, len(spans))
+	jobs := make([]func() error, len(spans))
+	for i := range spans {
+		i := i
+		jobs[i] = func() error {
+			data, err := d.fetchChunkPlan(&spans[i].plan)
+			if err != nil {
+				return err
+			}
+			parts[i] = data
+			return nil
+		}
+	}
+	if err := d.fanOut(jobs); err != nil {
+		return nil, err
+	}
 
 	out := make([]byte, 0, length)
 	for i := range spans {
 		sp := &spans[i]
-		data, err := d.fetchChunkPlan(&sp.plan)
-		if err != nil {
-			return nil, err
-		}
 		lo := 0
 		if offset > sp.fileOff {
 			lo = offset - sp.fileOff
@@ -79,7 +97,7 @@ func (d *Distributor) GetRange(client, password, filename string, offset, length
 		if offset+length < sp.fileOff+sp.origLen {
 			hi = offset + length - sp.fileOff
 		}
-		out = append(out, data[lo:hi]...)
+		out = append(out, parts[i][lo:hi]...)
 	}
 	return out, nil
 }
@@ -90,21 +108,43 @@ type ScrubReport struct {
 	Healthy       int
 	Repaired      int
 	Unrepairable  int
+	// Skipped counts chunks that mutated concurrently between the scan
+	// and the repair; the next scrub sees their final state.
+	Skipped int
 }
 
 // Scrub verifies every stored chunk against its checksum and rewrites any
 // missing, truncated or corrupted shard from its mirrors or RAID peers —
 // the background maintenance a production deployment of the paper's
 // architecture would run against silent provider corruption.
+//
+// The chunk table is snapshotted under d.mu; all verification and repair
+// I/O runs without the lock so a scrub never stalls client traffic.
+// Before rewriting a damaged chunk the owning file's generation is
+// re-checked: a chunk mutated since the scan belongs to a newer write,
+// and repairing its old blobs would only resurrect retired data.
 func (d *Distributor) Scrub() (ScrubReport, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	var rep ScrubReport
+	type item struct {
+		plan fetchPlan
+		fe   *fileEntry
+		gen  uint64
+	}
+	items := make([]item, 0, len(d.chunks))
 	for i := range d.chunks {
 		entry := &d.chunks[i]
 		if entry.CPIndex < 0 {
 			continue // removed
 		}
+		fe := d.clients[entry.Client].Files[entry.Filename]
+		items = append(items, item{plan: d.planFetch(entry), fe: fe, gen: fe.Gen})
+	}
+	d.mu.Unlock()
+
+	var rep ScrubReport
+	for k := range items {
+		it := &items[k]
+		entry := &it.plan.entry
 		rep.ChunksChecked++
 
 		healthy := false
@@ -129,11 +169,21 @@ func (d *Distributor) Scrub() (ScrubReport, error) {
 		}
 
 		// Rebuild the canonical payload from any healthy source.
-		payload, err := d.healthyPayload(entry)
+		payload, err := d.healthyPayload(&it.plan)
 		if err != nil {
 			rep.Unrepairable++
 			continue
 		}
+
+		d.mu.Lock()
+		feNow, ok := d.clients[entry.Client].Files[entry.Filename]
+		changed := !ok || feNow != it.fe || feNow.Gen != it.gen
+		d.mu.Unlock()
+		if changed {
+			rep.Skipped++
+			continue
+		}
+
 		// Rewrite primary and mirrors. Repair traffic is recorded but not
 		// gated: a scrub is exactly the kind of background write that
 		// should keep probing a struggling provider.
@@ -168,8 +218,10 @@ func (d *Distributor) payloadMatches(entry *chunkEntry, payload []byte) bool {
 }
 
 // healthyPayload finds a payload copy that passes verification: primary,
-// then mirrors, then RAID reconstruction.
-func (d *Distributor) healthyPayload(entry *chunkEntry) ([]byte, error) {
+// then mirrors, then RAID reconstruction. It works entirely from the
+// plan and takes no locks.
+func (d *Distributor) healthyPayload(plan *fetchPlan) ([]byte, error) {
+	entry := &plan.entry
 	if payload, ok := d.tryGet(entry.CPIndex, entry.VirtualID, entry.PayloadLen); ok && d.payloadMatches(entry, payload) {
 		return payload, nil
 	}
@@ -178,8 +230,7 @@ func (d *Distributor) healthyPayload(entry *chunkEntry) ([]byte, error) {
 			return payload, nil
 		}
 	}
-	plan := d.planFetch(entry)
-	payload, err := d.reconstructPlan(&plan)
+	payload, err := d.reconstructPlan(plan)
 	if err != nil {
 		return nil, err
 	}

@@ -74,7 +74,7 @@ func TestGetRangeValidation(t *testing.T) {
 	if _, err := d.GetRange("alice", "root", "f", 0, -5); !errors.Is(err, ErrConfig) {
 		t.Fatalf("negative length: %v", err)
 	}
-	if _, err := d.GetRange("alice", "root", "f", 9_999, 100); !errors.Is(err, ErrNoSuchChunk) {
+	if _, err := d.GetRange("alice", "root", "f", 9_999, 100); !errors.Is(err, ErrRange) {
 		t.Fatalf("overflow range: %v", err)
 	}
 	if _, err := d.GetRange("alice", "root", "nope", 0, 1); !errors.Is(err, ErrNoSuchFile) {

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/privacy"
 	"repro/internal/provider"
 	"repro/internal/raid"
 )
@@ -12,54 +11,80 @@ import (
 // RemoveFile deletes a file: every data chunk and parity shard is removed
 // from its provider and the tables are updated — the paper's
 // remove_file(client name, password, filename).
+//
+// Plan (under d.mu): authenticate and collect every blob the file owns.
+// Ship (no lock): fan the deletes out; a failed delete aborts with the
+// tables untouched ("remove incomplete" — the blobs still referenced are
+// still served, the already-deleted ones surface as unavailable until
+// the remove is retried). Commit (under d.mu): re-check the file's
+// generation and drop the rows and counts atomically.
 func (d *Distributor) RemoveFile(client, password, filename string) error {
+	// ---- Plan ----
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	c, _, err := d.auth(client, password)
 	if err != nil {
+		d.mu.Unlock()
 		return err
 	}
 	fe, ok := c.Files[filename]
 	if !ok {
+		d.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNoSuchFile, filename)
 	}
 	if _, err := d.authorize(client, password, fe.PL); err != nil {
+		d.mu.Unlock()
 		return err
 	}
-
+	fileGen := fe.Gen
 	seenStripe := map[int]bool{}
-	var jobs []func() error
+	var dels []storedShard
+	for _, idx := range fe.ChunkIdx {
+		if idx < 0 {
+			continue
+		}
+		entry := &d.chunks[idx]
+		dels = append(dels, storedShard{entry.CPIndex, entry.VirtualID})
+		for _, m := range entry.Mirrors {
+			dels = append(dels, storedShard{m.CPIndex, m.VirtualID})
+		}
+		if entry.SnapVID != "" && entry.SPIndex >= 0 {
+			dels = append(dels, storedShard{entry.SPIndex, entry.SnapVID})
+		}
+		if !seenStripe[entry.StripeID] {
+			seenStripe[entry.StripeID] = true
+			st := &d.stripes[entry.StripeID]
+			for _, ps := range st.Parity {
+				dels = append(dels, storedShard{ps.CPIndex, ps.VirtualID})
+			}
+		}
+	}
+	d.mu.Unlock()
+
+	// ---- Ship ----
+	jobs := make([]func() error, len(dels))
+	for i, s := range dels {
+		jobs[i] = d.deleteJob(s.provIdx, s.vid)
+	}
+	if err := d.fanOut(jobs); err != nil {
+		return fmt.Errorf("core: remove incomplete: %w", err)
+	}
+
+	// ---- Commit ----
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	feNow, ok := c.Files[filename]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchFile, filename)
+	}
+	if feNow != fe || feNow.Gen != fileGen {
+		return fmt.Errorf("%w: %s changed during removal", ErrConflict, filename)
+	}
 	remaining := 0
 	for _, idx := range fe.ChunkIdx {
 		if idx < 0 {
 			continue
 		}
 		remaining++
-		entry := &d.chunks[idx]
-		jobs = append(jobs, d.deleteJob(entry.CPIndex, entry.VirtualID))
-		for _, m := range entry.Mirrors {
-			jobs = append(jobs, d.deleteJob(m.CPIndex, m.VirtualID))
-		}
-		if entry.SnapVID != "" && entry.SPIndex >= 0 {
-			jobs = append(jobs, d.deleteJob(entry.SPIndex, entry.SnapVID))
-		}
-		if !seenStripe[entry.StripeID] {
-			seenStripe[entry.StripeID] = true
-			st := &d.stripes[entry.StripeID]
-			for _, ps := range st.Parity {
-				jobs = append(jobs, d.deleteJob(ps.CPIndex, ps.VirtualID))
-			}
-		}
-	}
-	if err := d.fanOut(jobs); err != nil {
-		return fmt.Errorf("core: remove incomplete: %w", err)
-	}
-
-	// Update accounting and tables.
-	for _, idx := range fe.ChunkIdx {
-		if idx < 0 {
-			continue
-		}
 		entry := &d.chunks[idx]
 		d.provCount[entry.CPIndex]--
 		for _, m := range entry.Mirrors {
@@ -83,6 +108,9 @@ func (d *Distributor) RemoveFile(client, password, filename string) error {
 	}
 	c.Count -= remaining
 	delete(c.Files, filename)
+	fe.Gen++
+	c.Gen++
+	d.gen++
 	d.counters.removes.Add(1)
 	return nil
 }
@@ -90,23 +118,36 @@ func (d *Distributor) RemoveFile(client, password, filename string) error {
 // RemoveChunk deletes one chunk — the paper's remove_chunk(client name,
 // password, filename, sl no.). The chunk's stripe parity is re-encoded
 // over the surviving members so RAID recovery keeps working for them.
+//
+// Plan (under d.mu): resolve the chunk, snapshot fetch plans for the
+// survivors while the full stripe is still consistent, and stage fresh
+// virtual ids for the replacement parity. Ship (no lock): fetch the
+// survivors, write the new parity, then delete the chunk's blobs and the
+// stale parity. Commit (under d.mu): generation check, then tombstone
+// the row and swap the stripe's membership and parity atomically.
 func (d *Distributor) RemoveChunk(client, password, filename string, serial int) error {
+	// ---- Plan ----
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	entry, err := d.lookupChunk(client, password, filename, serial)
 	if err != nil {
+		d.mu.Unlock()
 		return err
 	}
 	c := d.clients[client]
 	fe := c.Files[filename]
-
+	fileGen := fe.Gen
+	pl := entry.PL
 	st := &d.stripes[entry.StripeID]
+	stripeID := entry.StripeID
+	level := st.Level
+	oldParity := append([]parityShard(nil), st.Parity...)
 
-	// Gather surviving member payloads (reconstruct any unreachable one
-	// while the full stripe still exists).
 	type survivor struct {
 		chunkIdx int
-		payload  []byte
+		plan     fetchPlan
+		provIdx  int
+		name     string
+		serial   int
 	}
 	var survivors []survivor
 	for _, cidx := range st.Members {
@@ -114,119 +155,158 @@ func (d *Distributor) RemoveChunk(client, password, filename string, serial int)
 		if m.VirtualID == entry.VirtualID {
 			continue
 		}
-		payload, err := d.fetchPayloadLocked(m)
-		if err != nil {
-			return fmt.Errorf("core: cannot preserve stripe member %s#%d during removal: %w", m.Filename, m.Serial, err)
-		}
-		survivors = append(survivors, survivor{chunkIdx: cidx, payload: payload})
+		survivors = append(survivors, survivor{
+			chunkIdx: cidx, plan: d.planFetch(m), provIdx: m.CPIndex,
+			name: m.Filename, serial: m.Serial,
+		})
 	}
 
-	// Delete the chunk, its mirrors, its snapshot, and stale parity.
-	var jobs []func() error
-	jobs = append(jobs, d.deleteJob(entry.CPIndex, entry.VirtualID))
+	dels := []storedShard{{entry.CPIndex, entry.VirtualID}}
 	for _, m := range entry.Mirrors {
-		jobs = append(jobs, d.deleteJob(m.CPIndex, m.VirtualID))
+		dels = append(dels, storedShard{m.CPIndex, m.VirtualID})
 	}
 	if entry.SnapVID != "" && entry.SPIndex >= 0 {
-		jobs = append(jobs, d.deleteJob(entry.SPIndex, entry.SnapVID))
-	}
-	oldParity := st.Parity
-	for _, ps := range oldParity {
-		jobs = append(jobs, d.deleteJob(ps.CPIndex, ps.VirtualID))
-	}
-	if err := d.fanOut(jobs); err != nil {
-		return fmt.Errorf("core: remove incomplete: %w", err)
-	}
-	d.provCount[entry.CPIndex]--
-	for _, m := range entry.Mirrors {
-		d.provCount[m.CPIndex]--
-	}
-	if entry.SnapVID != "" && entry.SPIndex >= 0 {
-		d.provCount[entry.SPIndex]--
+		dels = append(dels, storedShard{entry.SPIndex, entry.SnapVID})
 	}
 	for _, ps := range oldParity {
-		d.provCount[ps.CPIndex]--
+		dels = append(dels, storedShard{ps.CPIndex, ps.VirtualID})
 	}
-	st.Parity = nil
 
-	// Rebuild stripe membership and parity over the survivors.
-	newMembers := make([]int, 0, len(survivors))
-	shardLen := 1
-	for _, s := range survivors {
-		newMembers = append(newMembers, s.chunkIdx)
-		if len(s.payload) > shardLen {
-			shardLen = len(s.payload)
-		}
-	}
-	st.Members = newMembers
-	st.ShardLen = shardLen
-	if len(survivors) > 0 && st.Level.ParityShards() > 0 {
-		padded := make([][]byte, len(survivors))
-		for i, s := range survivors {
-			pad := make([]byte, shardLen)
-			copy(pad, s.payload)
-			padded[i] = pad
-		}
-		stripe, err := raid.Encode(st.Level, padded)
-		if err != nil {
-			return fmt.Errorf("core: re-encoding stripe after removal: %w", err)
-		}
+	// Stage replacement parity on freshly placed providers.
+	t := d.newTicketLocked()
+	reencode := len(survivors) > 0 && level.ParityShards() > 0
+	var newParity []parityShard
+	if reencode {
 		exclude := map[int]bool{}
 		for _, s := range survivors {
-			exclude[d.chunks[s.chunkIdx].CPIndex] = true
+			exclude[s.provIdx] = true
 		}
-		for pi := 0; pi < st.Level.ParityShards(); pi++ {
-			provIdx, err := d.placeParityExcluding(entry.PL, exclude)
+		for pi := 0; pi < level.ParityShards(); pi++ {
+			provIdx, err := d.placeParityExcluding(pl, exclude)
 			if err != nil {
+				d.releaseTicketLocked(t)
+				d.mu.Unlock()
 				return err
 			}
 			exclude[provIdx] = true
 			vid := d.vids.Next()
-			shard := stripe.Shards[len(survivors)+pi]
-			if err := d.providerOp(provIdx, func(p provider.Provider) error {
-				return p.Put(vid, shard)
-			}); err != nil {
-				return fmt.Errorf("core: writing re-encoded parity: %w", err)
+			newParity = append(newParity, parityShard{VirtualID: vid, CPIndex: provIdx})
+			d.stageLocked(t, provIdx, vid)
+		}
+	}
+	d.mu.Unlock()
+
+	// ---- Ship ----
+	var stored []storedShard
+	abort := func(err error) error {
+		d.rollbackStored(stored)
+		d.releaseTicket(t)
+		return err
+	}
+
+	// Gather surviving member payloads (reconstructing any unreachable
+	// one) while the full stripe still exists on the providers.
+	shardLen := 1
+	sibPayloads := make([][]byte, len(survivors))
+	if reencode {
+		jobs := make([]func() error, len(survivors))
+		for i := range survivors {
+			i := i
+			jobs[i] = func() error {
+				data, err := d.fetchPayloadPlan(&survivors[i].plan)
+				if err != nil {
+					return fmt.Errorf("core: cannot preserve stripe member %s#%d during removal: %w", survivors[i].name, survivors[i].serial, err)
+				}
+				sibPayloads[i] = data
+				return nil
 			}
-			st.Parity = append(st.Parity, parityShard{VirtualID: vid, CPIndex: provIdx})
-			d.provCount[provIdx]++
+		}
+		if err := d.fanOut(jobs); err != nil {
+			return abort(err)
+		}
+		for _, p := range sibPayloads {
+			if len(p) > shardLen {
+				shardLen = len(p)
+			}
+		}
+		padded := make([][]byte, len(sibPayloads))
+		for i, p := range sibPayloads {
+			pad := make([]byte, shardLen)
+			copy(pad, p)
+			padded[i] = pad
+		}
+		stripe, err := raid.Encode(level, padded)
+		if err != nil {
+			return abort(fmt.Errorf("core: re-encoding stripe after removal: %w", err))
+		}
+		for pi := range newParity {
+			pex := map[int]bool{}
+			for _, s := range survivors {
+				pex[s.provIdx] = true
+			}
+			for pj := range newParity {
+				if pj != pi {
+					pex[newParity[pj].CPIndex] = true
+				}
+			}
+			pProv, pVID, err := d.rehomePut(pl, newParity[pi].CPIndex, newParity[pi].VirtualID, stripe.Shards[len(survivors)+pi], pex, t)
+			if err != nil {
+				return abort(fmt.Errorf("core: writing re-encoded parity: %w", err))
+			}
+			newParity[pi] = parityShard{VirtualID: pVID, CPIndex: pProv}
+			stored = append(stored, storedShard{pProv, pVID})
 		}
 	}
 
-	// Tombstone the chunk.
-	entry.CPIndex = -1
-	entry.SPIndex = -1
-	entry.SnapVID = ""
-	entry.Mirrors = nil
+	// Delete the chunk, its mirrors, its snapshot, and stale parity.
+	jobs := make([]func() error, len(dels))
+	for i, s := range dels {
+		jobs[i] = d.deleteJob(s.provIdx, s.vid)
+	}
+	if err := d.fanOut(jobs); err != nil {
+		return abort(fmt.Errorf("core: remove incomplete: %w", err))
+	}
+
+	// ---- Commit ----
+	d.mu.Lock()
+	feNow, ok := c.Files[filename]
+	if !ok || feNow != fe || feNow.Gen != fileGen {
+		d.releaseTicketLocked(t)
+		d.mu.Unlock()
+		d.rollbackStored(stored)
+		return fmt.Errorf("%w: %s#%d changed during removal", ErrConflict, filename, serial)
+	}
+	e := &d.chunks[fe.ChunkIdx[serial]]
+	d.provCount[e.CPIndex]--
+	for _, m := range e.Mirrors {
+		d.provCount[m.CPIndex]--
+	}
+	if e.SnapVID != "" && e.SPIndex >= 0 {
+		d.provCount[e.SPIndex]--
+	}
+	for _, ps := range oldParity {
+		d.provCount[ps.CPIndex]--
+	}
+	d.commitTicketLocked(t)
+	stNow := &d.stripes[stripeID]
+	newMembers := make([]int, 0, len(survivors))
+	for _, s := range survivors {
+		newMembers = append(newMembers, s.chunkIdx)
+	}
+	stNow.Members = newMembers
+	stNow.ShardLen = shardLen
+	stNow.Parity = newParity
+	e.CPIndex = -1
+	e.SPIndex = -1
+	e.SnapVID = ""
+	e.Mirrors = nil
 	fe.ChunkIdx[serial] = -1
 	c.Count--
+	fe.Gen++
+	d.gen++
 	d.counters.removes.Add(1)
+	d.mu.Unlock()
 	return nil
-}
-
-// placeParityExcluding picks one healthy eligible provider not in the
-// exclusion set, preferring lower cost then lower load. Callers hold d.mu.
-func (d *Distributor) placeParityExcluding(pl privacy.Level, exclude map[int]bool) (int, error) {
-	best := -1
-	for _, idx := range d.healthyEligible(pl) {
-		if exclude[idx] {
-			continue
-		}
-		if best == -1 {
-			best = idx
-			continue
-		}
-		pi, _ := d.fleet.At(idx)
-		pb, _ := d.fleet.At(best)
-		if pi.Info().CL < pb.Info().CL ||
-			(pi.Info().CL == pb.Info().CL && d.provCount[idx] < d.provCount[best]) {
-			best = idx
-		}
-	}
-	if best == -1 {
-		return 0, fmt.Errorf("%w: no provider for re-encoded parity", ErrPlacement)
-	}
-	return best, nil
 }
 
 // deleteJob builds a fan-out job removing one key from one provider;

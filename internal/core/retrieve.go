@@ -183,13 +183,6 @@ func (d *Distributor) fetchChunkPlan(plan *fetchPlan) ([]byte, error) {
 	return stripAndVerify(&plan.entry, payload)
 }
 
-// fetchChunkLocked is the lock-holding shim for mutation paths that
-// already own d.mu and need a chunk's bytes mid-operation.
-func (d *Distributor) fetchChunkLocked(entry *chunkEntry) ([]byte, error) {
-	plan := d.planFetch(entry)
-	return d.fetchChunkPlan(&plan)
-}
-
 // stripAndVerify recovers a chunk's original bytes from its stored
 // payload — decrypting (for encrypted files) or stripping misleading
 // bytes — and checks the result against the chunk's checksum.
@@ -233,12 +226,6 @@ func (d *Distributor) fetchPayloadPlan(plan *fetchPlan) ([]byte, error) {
 		d.counters.reconstructions.Add(1)
 	}
 	return payload, err
-}
-
-// fetchPayloadLocked is the lock-holding shim for mutation paths.
-func (d *Distributor) fetchPayloadLocked(entry *chunkEntry) ([]byte, error) {
-	plan := d.planFetch(entry)
-	return d.fetchPayloadPlan(&plan)
 }
 
 // tryGet fetches one blob with transient-failure retry, feeding the

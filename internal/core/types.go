@@ -50,6 +50,15 @@ var (
 	// target provider's circuit breaker is open. Write paths with
 	// failover treat it like a put failure and re-place the shard.
 	ErrCircuitOpen = errors.New("core: provider circuit open")
+	// ErrRange is returned when a requested byte range lies outside the
+	// file's bounds — a caller input error, distinct from a chunk that
+	// is genuinely missing.
+	ErrRange = errors.New("core: range outside file bounds")
+	// ErrConflict is returned when a mutation loses the commit race: the
+	// file it planned against was modified by a concurrent request while
+	// the mutation's provider I/O was in flight. The operation had no
+	// effect; callers may re-read and retry.
+	ErrConflict = errors.New("core: concurrent modification")
 )
 
 // chunkEntry is one row of the paper's Chunk Table (Table III): "the
@@ -114,6 +123,11 @@ type fileEntry struct {
 	// ChunkIdx[serial] is the Chunk Table index of that serial.
 	ChunkIdx []int
 	Raid     raid.Level
+	// Gen counts committed mutations of this file. A write plans against
+	// one generation and refuses to commit against another, so two
+	// mutations racing on the same file cannot interleave their table
+	// updates. Exported so metadata replication carries it.
+	Gen uint64
 }
 
 // clientEntry is one row of the paper's Client Table (Table II).
@@ -127,6 +141,9 @@ type clientEntry struct {
 	Files     map[string]*fileEntry
 	// Count is the client's total chunk count (paper Table II "Count").
 	Count int
+	// Gen counts committed mutations of the client's file set (uploads
+	// and removals). Exported so metadata replication carries it.
+	Gen uint64
 }
 
 // UploadOptions tunes one upload beyond the defaults.

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/cryptofrag"
 	"repro/internal/mislead"
-	"repro/internal/privacy"
 	"repro/internal/provider"
 	"repro/internal/raid"
 )
@@ -16,73 +15,44 @@ import (
 // provider stores the pre-state and cloud provider stores the post-state
 // of a chunk after each modification" (paper §IV-A, Chunk Table).
 // The stripe's parity is re-encoded over the new contents.
+//
+// The write runs in three phases. Plan (under d.mu): validate, build the
+// new payload, snapshot fetch plans for the pre-state and every stripe
+// sibling, and stage fresh virtual ids for every blob the update will
+// produce — snapshot, post-state, mirrors and parity all get new ids, so
+// nothing stored for the old generation is overwritten or deleted until
+// the new generation is fully durable. Ship (no lock): read the
+// pre-state and siblings, then write every new blob with failover. Any
+// failure aborts with the tables untouched: the chunk row, provider
+// counts and the previous snapshot all keep serving. Commit (under
+// d.mu): re-check the file's generation — a concurrent mutation means
+// ErrConflict and a rollback of the new blobs — then swap every row
+// field at once and retire the superseded blobs.
 func (d *Distributor) UpdateChunk(client, password, filename string, serial int, newData []byte, opts UploadOptions) error {
 	if opts.MisleadFraction < 0 || opts.MisleadFraction >= 1 {
 		return fmt.Errorf("%w: mislead fraction %v outside [0,1)", ErrConfig, opts.MisleadFraction)
 	}
+
+	// ---- Plan ----
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	entry, err := d.lookupChunk(client, password, filename, serial)
 	if err != nil {
+		d.mu.Unlock()
 		return err
 	}
-
-	// Capture the pre-state payload (reconstructing if necessary).
-	oldPayload, err := d.fetchPayloadLocked(entry)
-	if err != nil {
-		return fmt.Errorf("core: reading pre-state: %w", err)
-	}
-
-	// Prefetch every sibling member of the stripe NOW, while parity is
-	// still consistent with the members. Reading them after the post-state
-	// write would let an unreachable sibling be "reconstructed" through
-	// stale parity — silent corruption. If a sibling is unreadable even
-	// through RAID, the update fails before mutating anything.
-	st := &d.stripes[entry.StripeID]
-	siblings := make(map[int][]byte, len(st.Members))
-	if st.Level.ParityShards() > 0 {
-		for _, cidx := range st.Members {
-			m := &d.chunks[cidx]
-			if m.VirtualID == entry.VirtualID {
-				continue
-			}
-			sib, err := d.fetchPayloadLocked(m)
-			if err != nil {
-				return fmt.Errorf("core: reading stripe sibling %s#%d before update: %w", m.Filename, m.Serial, err)
-			}
-			siblings[cidx] = sib
-		}
-	}
-
-	// Store the snapshot on a provider distinct from the current one,
-	// failing over to other providers if the chosen one rejects the put.
-	spIdx, err := d.pickSnapshotProvider(entry.PL, entry.CPIndex)
-	if err != nil {
-		return err
-	}
-	spIdx, snapVID, err := d.rehomePut(entry.PL, spIdx, d.vids.Next(), oldPayload,
-		map[int]bool{entry.CPIndex: true})
-	if err != nil {
-		return fmt.Errorf("core: writing snapshot: %w", err)
-	}
-	// Retire any previous snapshot.
-	if entry.SnapVID != "" && entry.SPIndex >= 0 {
-		if old, e := d.fleet.At(entry.SPIndex); e == nil {
-			_ = old.Delete(entry.SnapVID)
-		}
-		d.provCount[entry.SPIndex]--
-	}
-	entry.SPIndex = spIdx
-	entry.SnapVID = snapVID
-	d.provCount[spIdx]++
+	fe := d.clients[client].Files[filename]
+	fileGen := fe.Gen
+	entryIdx := fe.ChunkIdx[serial]
 
 	// Build the new payload: encrypted files stay encrypted; otherwise a
-	// fresh mislead injection if requested.
+	// fresh mislead injection if requested. This stays in the plan phase
+	// because the mislead RNG and the encryption nonce are d.mu-guarded.
 	payload := newData
 	var inj mislead.Injection
 	switch {
 	case entry.EncKey != nil:
 		if opts.MisleadFraction > 0 || len(opts.MisleadLines) > 0 {
+			d.mu.Unlock()
 			return fmt.Errorf("%w: misleading data and encryption are mutually exclusive", ErrConfig)
 		}
 		payload, err = cryptofrag.Encrypt(entry.EncKey, newData, d.nextEncNonce())
@@ -96,145 +66,244 @@ func (d *Distributor) UpdateChunk(client, password, filename string, serial int,
 		payload = cp
 	}
 	if err != nil {
+		d.mu.Unlock()
 		return err
 	}
 
-	// Write the post-state, to the primary and to every mirror. A failed
-	// primary put re-homes the chunk on another healthy provider under a
-	// fresh virtual id (the stale blob is deleted best-effort, so even an
-	// unreachable one is later detectable as a VID orphan).
-	exclude := make(map[int]bool)
-	for _, cidx := range st.Members {
-		if m := &d.chunks[cidx]; m.VirtualID != entry.VirtualID {
-			exclude[m.CPIndex] = true
+	// Snapshot the row being replaced and its stripe geometry.
+	old := *entry
+	old.Mirrors = append([]mirrorRef(nil), entry.Mirrors...)
+	st := &d.stripes[entry.StripeID]
+	stripeID := entry.StripeID
+	level := st.Level
+	members := append([]int(nil), st.Members...)
+	oldParity := append([]parityShard(nil), st.Parity...)
+	pl := entry.PL
+
+	// Fetch plans: the pre-state, and — when the stripe carries parity —
+	// every sibling member, planned NOW while parity is still consistent
+	// with the members. Reading them after the post-state write would let
+	// an unreachable sibling be "reconstructed" through stale parity.
+	pre := d.planFetch(entry)
+	type sibling struct {
+		chunkIdx int
+		plan     fetchPlan
+		provIdx  int
+		name     string
+		serial   int
+	}
+	var sibs []sibling
+	if level.ParityShards() > 0 {
+		for _, cidx := range members {
+			m := &d.chunks[cidx]
+			if m.VirtualID == entry.VirtualID {
+				continue
+			}
+			sibs = append(sibs, sibling{
+				chunkIdx: cidx, plan: d.planFetch(m), provIdx: m.CPIndex,
+				name: m.Filename, serial: m.Serial,
+			})
 		}
 	}
-	for _, ps := range st.Parity {
+
+	// Stage fresh virtual ids for every blob of the new generation. The
+	// post-state gets a new id even when it stays on the same provider:
+	// the old blob must survive untouched until commit.
+	t := d.newTicketLocked()
+	spIdx, err := d.pickSnapshotProvider(pl, old.CPIndex)
+	if err != nil {
+		d.releaseTicketLocked(t)
+		d.mu.Unlock()
+		return err
+	}
+	snapVID := d.vids.Next()
+	d.stageLocked(t, spIdx, snapVID)
+	postVID := d.vids.Next()
+	d.stageLocked(t, old.CPIndex, postVID)
+	newMirrors := make([]mirrorRef, len(old.Mirrors))
+	for i, m := range old.Mirrors {
+		newMirrors[i] = mirrorRef{VirtualID: d.vids.Next(), CPIndex: m.CPIndex}
+		d.stageLocked(t, m.CPIndex, newMirrors[i].VirtualID)
+	}
+	newParity := make([]parityShard, len(oldParity))
+	for i, ps := range oldParity {
+		newParity[i] = parityShard{VirtualID: d.vids.Next(), CPIndex: ps.CPIndex}
+		d.stageLocked(t, ps.CPIndex, newParity[i].VirtualID)
+	}
+	d.mu.Unlock()
+
+	// ---- Ship: all provider I/O happens without the lock ----
+	var stored []storedShard
+	abort := func(err error) error {
+		d.rollbackStored(stored)
+		d.releaseTicket(t)
+		return err
+	}
+
+	oldPayload, err := d.fetchPayloadPlan(&pre)
+	if err != nil {
+		return abort(fmt.Errorf("core: reading pre-state: %w", err))
+	}
+	sibPayloads := make([][]byte, len(sibs))
+	sibJobs := make([]func() error, len(sibs))
+	for i := range sibs {
+		i := i
+		sibJobs[i] = func() error {
+			data, err := d.fetchPayloadPlan(&sibs[i].plan)
+			if err != nil {
+				return fmt.Errorf("core: reading stripe sibling %s#%d before update: %w", sibs[i].name, sibs[i].serial, err)
+			}
+			sibPayloads[i] = data
+			return nil
+		}
+	}
+	if err := d.fanOut(sibJobs); err != nil {
+		return abort(err)
+	}
+
+	// Snapshot first: the pre-state must be durable somewhere new before
+	// anything else is worth writing.
+	spIdx, snapVID, err = d.rehomePut(pl, spIdx, snapVID, oldPayload, map[int]bool{old.CPIndex: true}, t)
+	if err != nil {
+		return abort(fmt.Errorf("core: writing snapshot: %w", err))
+	}
+	stored = append(stored, storedShard{spIdx, snapVID})
+
+	// Post-state, excluding every provider holding a sibling, parity
+	// shard or mirror of this chunk.
+	exclude := make(map[int]bool)
+	for _, s := range sibs {
+		exclude[s.provIdx] = true
+	}
+	for _, ps := range oldParity {
 		exclude[ps.CPIndex] = true
 	}
-	for _, m := range entry.Mirrors {
+	for _, m := range old.Mirrors {
 		exclude[m.CPIndex] = true
 	}
-	newProv, newVID, err := d.rehomePut(entry.PL, entry.CPIndex, entry.VirtualID, payload, exclude)
+	postProv, postVIDFinal, err := d.rehomePut(pl, old.CPIndex, postVID, payload, exclude, t)
 	if err != nil {
-		return fmt.Errorf("core: writing post-state: %w", err)
+		return abort(fmt.Errorf("core: writing post-state: %w", err))
 	}
-	if newProv != entry.CPIndex {
-		if old, e := d.fleet.At(entry.CPIndex); e == nil {
-			_ = old.Delete(entry.VirtualID)
-		}
-		d.provCount[entry.CPIndex]--
-		d.provCount[newProv]++
-		entry.CPIndex = newProv
-		entry.VirtualID = newVID
-	}
-	for mi := range entry.Mirrors {
-		m := &entry.Mirrors[mi]
-		mex := map[int]bool{entry.CPIndex: true}
-		for _, other := range entry.Mirrors {
-			if other.VirtualID != m.VirtualID {
-				mex[other.CPIndex] = true
+	postVID = postVIDFinal
+	stored = append(stored, storedShard{postProv, postVID})
+
+	for mi := range newMirrors {
+		mex := map[int]bool{postProv: true}
+		for mj := range newMirrors {
+			if mj != mi {
+				mex[newMirrors[mj].CPIndex] = true
 			}
 		}
-		mProv, mVID, err := d.rehomePut(entry.PL, m.CPIndex, m.VirtualID, payload, mex)
+		mProv, mVID, err := d.rehomePut(pl, newMirrors[mi].CPIndex, newMirrors[mi].VirtualID, payload, mex, t)
 		if err != nil {
-			return fmt.Errorf("core: writing post-state mirror: %w", err)
+			return abort(fmt.Errorf("core: writing post-state mirror: %w", err))
 		}
-		if mProv != m.CPIndex {
-			if old, e := d.fleet.At(m.CPIndex); e == nil {
-				_ = old.Delete(m.VirtualID)
-			}
-			d.provCount[m.CPIndex]--
-			d.provCount[mProv]++
-			m.CPIndex = mProv
-			m.VirtualID = mVID
-		}
+		newMirrors[mi] = mirrorRef{VirtualID: mVID, CPIndex: mProv}
+		stored = append(stored, storedShard{mProv, mVID})
 	}
-	entry.Mislead = inj
-	entry.PayloadLen = len(payload)
-	entry.DataLen = len(newData)
-	entry.Sum = sha256.Sum256(newData)
-	d.counters.updates.Add(1)
 
 	// Re-encode parity from the prefetched siblings plus the new payload —
 	// never re-reading members through a now-inconsistent stripe.
-	if st.Level.ParityShards() == 0 || len(st.Members) == 0 {
-		return nil
-	}
-	shardLen := 1
-	payloads := make([][]byte, len(st.Members))
-	for i, cidx := range st.Members {
-		var pv []byte
-		if cidx == chunkIndexOf(d, entry) {
-			pv = payload
-		} else {
-			pv = siblings[cidx]
-		}
-		payloads[i] = pv
-		if len(pv) > shardLen {
-			shardLen = len(pv)
-		}
-	}
-	st.ShardLen = shardLen
-	return d.writeParityLocked(st, payloads)
-}
-
-// chunkIndexOf finds a chunk entry's index in the chunk table; entries are
-// stored by value in d.chunks, so pointer arithmetic identifies the slot.
-func chunkIndexOf(d *Distributor, entry *chunkEntry) int {
-	for i := range d.chunks {
-		if &d.chunks[i] == entry {
-			return i
-		}
-	}
-	return -1
-}
-
-// writeParityLocked pads member payloads to the stripe's shard length,
-// encodes parity and writes each parity shard to its provider, failing a
-// rejected parity put over to another healthy provider distinct from the
-// rest of the stripe.
-func (d *Distributor) writeParityLocked(st *stripeEntry, payloads [][]byte) error {
-	padded := make([][]byte, len(payloads))
-	for i, p := range payloads {
-		pad := make([]byte, st.ShardLen)
-		copy(pad, p)
-		padded[i] = pad
-	}
-	stripe, err := raid.Encode(st.Level, padded)
-	if err != nil {
-		return fmt.Errorf("core: re-encode: %w", err)
-	}
-	var pl privacy.Level
-	exclude := make(map[int]bool)
-	for _, cidx := range st.Members {
-		exclude[d.chunks[cidx].CPIndex] = true
-		pl = d.chunks[cidx].PL
-	}
-	for _, ps := range st.Parity {
-		exclude[ps.CPIndex] = true
-	}
-	for pi := range st.Parity {
-		ps := &st.Parity[pi]
-		ex := make(map[int]bool, len(exclude))
-		for k := range exclude {
-			if k != ps.CPIndex {
-				ex[k] = true
+	shardLen := 0
+	if level.ParityShards() > 0 && len(members) > 0 {
+		shardLen = 1
+		payloads := make([][]byte, len(members))
+		for i, cidx := range members {
+			pv := payload
+			if cidx != entryIdx {
+				for j, s := range sibs {
+					if s.chunkIdx == cidx {
+						pv = sibPayloads[j]
+						break
+					}
+				}
+			}
+			payloads[i] = pv
+			if len(pv) > shardLen {
+				shardLen = len(pv)
 			}
 		}
-		prov, vid, err := d.rehomePut(pl, ps.CPIndex, ps.VirtualID, stripe.Shards[len(payloads)+pi], ex)
+		padded := make([][]byte, len(payloads))
+		for i, p := range payloads {
+			pad := make([]byte, shardLen)
+			copy(pad, p)
+			padded[i] = pad
+		}
+		stripe, err := raid.Encode(level, padded)
 		if err != nil {
-			return fmt.Errorf("core: rewriting parity: %w", err)
+			return abort(fmt.Errorf("core: re-encode: %w", err))
 		}
-		if prov != ps.CPIndex {
-			if old, e := d.fleet.At(ps.CPIndex); e == nil {
-				_ = old.Delete(ps.VirtualID)
+		for pi := range newParity {
+			pex := map[int]bool{postProv: true}
+			for _, s := range sibs {
+				pex[s.provIdx] = true
 			}
-			d.provCount[ps.CPIndex]--
-			d.provCount[prov]++
-			exclude[prov] = true
-			ps.CPIndex = prov
-			ps.VirtualID = vid
+			for pj := range newParity {
+				if pj != pi {
+					pex[newParity[pj].CPIndex] = true
+				}
+			}
+			pProv, pVID, err := d.rehomePut(pl, newParity[pi].CPIndex, newParity[pi].VirtualID, stripe.Shards[len(members)+pi], pex, t)
+			if err != nil {
+				return abort(fmt.Errorf("core: rewriting parity: %w", err))
+			}
+			newParity[pi] = parityShard{VirtualID: pVID, CPIndex: pProv}
+			stored = append(stored, storedShard{pProv, pVID})
+		}
+	}
+
+	// ---- Commit: swap the row atomically, or detect a lost race ----
+	d.mu.Lock()
+	c := d.clients[client]
+	feNow, ok := c.Files[filename]
+	if !ok || feNow != fe || feNow.Gen != fileGen {
+		d.releaseTicketLocked(t)
+		d.mu.Unlock()
+		d.rollbackStored(stored)
+		return fmt.Errorf("%w: %s#%d changed during update", ErrConflict, filename, serial)
+	}
+	e := &d.chunks[entryIdx]
+	retired := []storedShard{{old.CPIndex, old.VirtualID}}
+	d.provCount[old.CPIndex]--
+	for _, m := range old.Mirrors {
+		retired = append(retired, storedShard{m.CPIndex, m.VirtualID})
+		d.provCount[m.CPIndex]--
+	}
+	for _, ps := range oldParity {
+		retired = append(retired, storedShard{ps.CPIndex, ps.VirtualID})
+		d.provCount[ps.CPIndex]--
+	}
+	if old.SnapVID != "" && old.SPIndex >= 0 {
+		retired = append(retired, storedShard{old.SPIndex, old.SnapVID})
+		d.provCount[old.SPIndex]--
+	}
+	d.commitTicketLocked(t)
+	e.VirtualID = postVID
+	e.CPIndex = postProv
+	e.SPIndex = spIdx
+	e.SnapVID = snapVID
+	e.Mirrors = newMirrors
+	e.Mislead = inj
+	e.PayloadLen = len(payload)
+	e.DataLen = len(newData)
+	e.Sum = sha256.Sum256(newData)
+	stNow := &d.stripes[stripeID]
+	stNow.Parity = newParity
+	if shardLen > 0 {
+		stNow.ShardLen = shardLen
+	}
+	fe.Gen++
+	d.gen++
+	d.counters.updates.Add(1)
+	d.mu.Unlock()
+
+	// Retire the superseded generation, best-effort: every blob is
+	// unreferenced by the committed tables, so a failed delete is later
+	// detectable as a VID orphan.
+	for _, s := range retired {
+		if p, e := d.fleet.At(s.provIdx); e == nil {
+			_ = p.Delete(s.vid)
 		}
 	}
 	return nil
@@ -269,31 +338,4 @@ func (d *Distributor) GetSnapshot(client, password, filename string, serial int)
 		return nil, err
 	}
 	return payload, nil
-}
-
-// reencodeStripeLocked recomputes and rewrites a stripe's parity shards by
-// re-reading every member. Only safe when members and parity are mutually
-// consistent (e.g. after relocating a parity shard) — callers that just
-// rewrote a member must use writeParityLocked with prefetched payloads
-// instead.
-func (d *Distributor) reencodeStripeLocked(stripeID int) error {
-	st := &d.stripes[stripeID]
-	if st.Level.ParityShards() == 0 || len(st.Members) == 0 {
-		return nil
-	}
-	shardLen := 1
-	payloads := make([][]byte, len(st.Members))
-	for i, cidx := range st.Members {
-		m := &d.chunks[cidx]
-		payload, err := d.fetchPayloadLocked(m)
-		if err != nil {
-			return fmt.Errorf("core: re-encode: reading member %d: %w", i, err)
-		}
-		payloads[i] = payload
-		if len(payload) > shardLen {
-			shardLen = len(payload)
-		}
-	}
-	st.ShardLen = shardLen
-	return d.writeParityLocked(st, payloads)
 }

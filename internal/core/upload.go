@@ -15,6 +15,16 @@ import (
 // chunks with RAID parity and scatters everything over the provider
 // fleet. It returns the chunk count the client later uses to request
 // chunks by (filename, serial).
+//
+// The write runs in three phases. Plan (under d.mu): validate, chunk,
+// build payloads, place shards and allocate virtual ids into staged
+// tables that reference nothing live; the filename is reserved so a
+// concurrent identical upload fails fast with ErrExists. Ship (no lock):
+// every shard goes out with bounded fan-out and per-shard failover; one
+// slow provider delays only this upload, not other clients. Commit
+// (under d.mu): staged rows are rebased onto the live tables and the
+// provider counts folded in atomically — or, on a failed ship, the
+// staging is withdrawn and stored blobs rolled back, leaving no trace.
 func (d *Distributor) Upload(client, password, filename string, data []byte, pl privacy.Level, opts UploadOptions) (FileInfo, error) {
 	if filename == "" {
 		return FileInfo{}, fmt.Errorf("%w: empty filename", ErrConfig)
@@ -49,23 +59,37 @@ func (d *Distributor) Upload(client, password, filename string, data []byte, pl 
 		return FileInfo{}, fmt.Errorf("%w: raid level %v", ErrConfig, level)
 	}
 
+	// ---- Plan: stage everything under the lock, mutate nothing live ----
+	resKey := client + "\x00" + filename
 	d.mu.Lock()
-	defer d.mu.Unlock()
-
 	c, err := d.authorize(client, password, pl)
 	if err != nil {
+		d.mu.Unlock()
 		return FileInfo{}, err
 	}
-	if _, dup := c.Files[filename]; dup {
+	if _, dup := c.Files[filename]; dup || d.reserved[resKey] {
+		d.mu.Unlock()
 		return FileInfo{}, fmt.Errorf("%w: %s", ErrExists, filename)
+	}
+	d.reserved[resKey] = true
+	t := d.newTicketLocked()
+	// abortLocked undoes the reservation and staging; used by every error
+	// path once the ticket is open. Callers hold d.mu.
+	abortLocked := func() {
+		d.releaseTicketLocked(t)
+		delete(d.reserved, resKey)
 	}
 
 	chunks, err := chunker.Split(data, pl, d.policy)
 	if err != nil {
+		abortLocked()
+		d.mu.Unlock()
 		return FileInfo{}, err
 	}
 
-	// Prepare payloads (with optional misleading data) per chunk.
+	// Prepare payloads (with optional misleading data) per chunk. This
+	// stays in the plan phase: the mislead RNG and the encryption nonce
+	// are d.mu-guarded.
 	type prepared struct {
 		payload []byte
 		inj     mislead.Injection
@@ -89,6 +113,8 @@ func (d *Distributor) Upload(client, password, filename string, data []byte, pl 
 			payload, inj, err = mislead.Inject(ch.Data, opts.MisleadFraction, d.misleadRNG)
 		}
 		if err != nil {
+			abortLocked()
+			d.mu.Unlock()
 			return FileInfo{}, err
 		}
 		prep[i] = prepared{payload: payload, inj: inj, sum: ch.Sum, dataLen: len(ch.Data)}
@@ -97,19 +123,19 @@ func (d *Distributor) Upload(client, password, filename string, data []byte, pl 
 	parity := level.ParityShards()
 	width, err := d.effectiveWidth(pl, parity)
 	if err != nil {
+		abortLocked()
+		d.mu.Unlock()
 		return FileInfo{}, err
 	}
 
 	fe := &fileEntry{Filename: filename, PL: pl, Raid: level, ChunkIdx: make([]int, len(chunks))}
 
-	// Stage everything; only commit tables and counts after all provider
-	// puts succeed (possibly after per-shard failover).
+	// Staged rows use positions relative to the staged slices — the live
+	// table lengths can change while the ship phase runs, so absolute
+	// indices only exist at commit, when everything is rebased at once.
 	var shards []stagedShard
 	newChunks := make([]chunkEntry, 0, len(chunks))
 	newStripes := make([]stripeEntry, 0, (len(chunks)+width-1)/width)
-	baseChunkIdx := len(d.chunks)
-	baseStripeIdx := len(d.stripes)
-	countDelta := make([]int, d.fleet.Len())
 
 	for start := 0; start < len(prep); start += width {
 		end := start + width
@@ -127,13 +153,15 @@ func (d *Distributor) Upload(client, password, filename string, data []byte, pl 
 			shardLen = 1 // parity over empty chunks still needs one byte
 		}
 		nShards := len(group) + parity
-		placement, err := d.placeShardsWithDelta(pl, nShards, countDelta)
+		placement, err := d.placeShards(pl, nShards)
 		if err != nil {
+			abortLocked()
+			d.mu.Unlock()
 			return FileInfo{}, err
 		}
 
 		stripePos := len(newStripes)
-		st := stripeEntry{ID: baseStripeIdx + stripePos, Level: level, ShardLen: shardLen}
+		st := stripeEntry{ID: stripePos, Level: level, ShardLen: shardLen}
 		padded := make([][]byte, len(group))
 		for gi, p := range group {
 			serial := start + gi
@@ -153,14 +181,16 @@ func (d *Distributor) Upload(client, password, filename string, data []byte, pl 
 				DataLen:    p.dataLen,
 				Sum:        p.sum,
 				EncKey:     encKey,
-				StripeID:   st.ID,
+				StripeID:   stripePos,
 			}
 			// Mirrors: extra full copies on providers distinct from the
 			// chunk's own and from each other.
 			exclude := map[int]bool{provIdx: true}
 			for r := 0; r < opts.Replicas; r++ {
-				mIdx, err := d.placeExcludingWithDelta(pl, exclude, countDelta)
+				mIdx, err := d.placeParityExcluding(pl, exclude)
 				if err != nil {
+					abortLocked()
+					d.mu.Unlock()
 					return FileInfo{}, fmt.Errorf("placing replica %d of chunk %d: %w", r+1, serial, err)
 				}
 				exclude[mIdx] = true
@@ -171,19 +201,18 @@ func (d *Distributor) Upload(client, password, filename string, data []byte, pl 
 					stripePos: stripePos, parityPos: -1,
 					provIdx: mIdx, vid: mvid, payload: p.payload,
 				})
-				countDelta[mIdx]++
+				d.stageLocked(t, mIdx, mvid)
 			}
 
-			idx := baseChunkIdx + chunkPos
 			newChunks = append(newChunks, ce)
-			fe.ChunkIdx[serial] = idx
-			st.Members = append(st.Members, idx)
+			fe.ChunkIdx[serial] = chunkPos
+			st.Members = append(st.Members, chunkPos)
 			shards = append(shards, stagedShard{
 				kind: shardData, chunkPos: chunkPos, mirrorPos: -1,
 				stripePos: stripePos, parityPos: -1,
 				provIdx: provIdx, vid: vid, payload: p.payload,
 			})
-			countDelta[provIdx]++
+			d.stageLocked(t, provIdx, vid)
 
 			pad := make([]byte, shardLen)
 			copy(pad, p.payload)
@@ -192,6 +221,8 @@ func (d *Distributor) Upload(client, password, filename string, data []byte, pl 
 		if parity > 0 {
 			stripe, err := raid.Encode(level, padded)
 			if err != nil {
+				abortLocked()
+				d.mu.Unlock()
 				return FileInfo{}, err
 			}
 			for pi := 0; pi < parity; pi++ {
@@ -203,55 +234,50 @@ func (d *Distributor) Upload(client, password, filename string, data []byte, pl 
 					stripePos: stripePos, parityPos: pi,
 					provIdx: provIdx, vid: vid, payload: stripe.Shards[len(group)+pi],
 				})
-				countDelta[provIdx]++
+				d.stageLocked(t, provIdx, vid)
 			}
 		}
 		newStripes = append(newStripes, st)
 	}
+	d.mu.Unlock()
 
-	// Ship all shards with bounded fan-out, failing individual shards
-	// over to other healthy providers; shipStaged rolls back anything
-	// already stored if a shard runs out of providers, so a failed
-	// upload leaves no orphan blobs and no table rows.
-	if err := d.shipStaged(pl, shards, newChunks, newStripes, countDelta); err != nil {
+	// ---- Ship: all provider puts happen without the lock ----
+	// shipStaged fails individual shards over to other healthy providers
+	// and rolls back anything already stored if a shard runs out of
+	// providers, so a failed upload leaves no orphan blobs.
+	if err := d.shipStaged(pl, shards, newChunks, newStripes, t); err != nil {
+		d.mu.Lock()
+		abortLocked()
+		d.mu.Unlock()
 		return FileInfo{}, fmt.Errorf("core: upload aborted: %w", err)
 	}
 
-	// Commit.
+	// ---- Commit: rebase staged rows onto the live tables atomically ----
+	d.mu.Lock()
+	base := len(d.chunks)
+	sbase := len(d.stripes)
+	for i := range newChunks {
+		newChunks[i].StripeID += sbase
+	}
+	for i := range newStripes {
+		newStripes[i].ID += sbase
+		for j := range newStripes[i].Members {
+			newStripes[i].Members[j] += base
+		}
+	}
+	for serial := range fe.ChunkIdx {
+		fe.ChunkIdx[serial] += base
+	}
 	d.chunks = append(d.chunks, newChunks...)
 	d.stripes = append(d.stripes, newStripes...)
-	for i, delta := range countDelta {
-		d.provCount[i] += delta
-	}
+	d.commitTicketLocked(t)
+	delete(d.reserved, resKey)
 	c.Files[filename] = fe
 	c.Count += len(chunks)
+	c.Gen++
+	d.gen++
 	d.counters.uploads.Add(1)
+	d.mu.Unlock()
 
 	return FileInfo{Filename: filename, PL: pl, Chunks: len(chunks), Raid: level, Bytes: len(data)}, nil
-}
-
-// placeShardsWithDelta is placeShards that also accounts for shard counts
-// staged by the current request but not yet committed, so multi-stripe
-// uploads spread load correctly.
-func (d *Distributor) placeShardsWithDelta(pl privacy.Level, n int, delta []int) ([]int, error) {
-	for i, v := range delta {
-		d.provCount[i] += v
-	}
-	placement, err := d.placeShards(pl, n)
-	for i, v := range delta {
-		d.provCount[i] -= v
-	}
-	return placement, err
-}
-
-// placeExcludingWithDelta is placeParityExcluding with staged counts.
-func (d *Distributor) placeExcludingWithDelta(pl privacy.Level, exclude map[int]bool, delta []int) (int, error) {
-	for i, v := range delta {
-		d.provCount[i] += v
-	}
-	idx, err := d.placeParityExcluding(pl, exclude)
-	for i, v := range delta {
-		d.provCount[i] -= v
-	}
-	return idx, err
 }

@@ -55,7 +55,12 @@ func statusToCoreError(status int, msg string) error {
 		}
 		return fmt.Errorf("%w: %s", core.ErrNoSuchFile, msg)
 	case http.StatusConflict:
+		if strings.Contains(msg, "concurrent") {
+			return fmt.Errorf("%w: %s", core.ErrConflict, msg)
+		}
 		return fmt.Errorf("%w: %s", core.ErrExists, msg)
+	case http.StatusRequestedRangeNotSatisfiable:
+		return fmt.Errorf("%w: %s", core.ErrRange, msg)
 	case http.StatusInsufficientStorage:
 		return fmt.Errorf("%w: %s", core.ErrPlacement, msg)
 	case http.StatusServiceUnavailable:

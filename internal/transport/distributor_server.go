@@ -56,8 +56,10 @@ func coreStatus(err error) int {
 		return http.StatusForbidden
 	case errors.Is(err, core.ErrNoSuchFile), errors.Is(err, core.ErrNoSuchChunk), errors.Is(err, core.ErrNoSnapshot):
 		return http.StatusNotFound
-	case errors.Is(err, core.ErrExists):
+	case errors.Is(err, core.ErrExists), errors.Is(err, core.ErrConflict):
 		return http.StatusConflict
+	case errors.Is(err, core.ErrRange):
+		return http.StatusRequestedRangeNotSatisfiable
 	case errors.Is(err, core.ErrPlacement):
 		return http.StatusInsufficientStorage
 	case errors.Is(err, core.ErrUnavailable), errors.Is(err, core.ErrCircuitOpen):

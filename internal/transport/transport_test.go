@@ -354,7 +354,7 @@ func TestGetRangeAndAdminOverHTTP(t *testing.T) {
 	if !bytes.Equal(got, data[40_000:42_000]) {
 		t.Fatal("range over HTTP mismatch")
 	}
-	if _, err := client.GetRange("bob", "pw", "f", 89_999, 100); !errors.Is(err, core.ErrNoSuchChunk) {
+	if _, err := client.GetRange("bob", "pw", "f", 89_999, 100); !errors.Is(err, core.ErrRange) {
 		t.Fatalf("overflow range: %v", err)
 	}
 
