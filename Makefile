@@ -5,10 +5,12 @@
 #   make fuzz             short randomized fuzzing of the codec layers
 #   FUZZTIME=30s make fuzz  longer fuzz budget
 
-GO       ?= go
-FUZZTIME ?= 5s
+GO        ?= go
+FUZZTIME  ?= 5s
+BENCHOUT  ?= BENCH_3.json
+BENCHTIME ?= 1s
 
-.PHONY: check build vet test race fuzz fmt
+.PHONY: check build vet test race fuzz fmt bench bench-smoke
 
 check: vet build race fuzz
 
@@ -32,6 +34,20 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzStripHostile -fuzztime $(FUZZTIME) ./internal/mislead
 	$(GO) test -run '^$$' -fuzz FuzzEncryptDecrypt -fuzztime $(FUZZTIME) ./internal/cryptofrag
 	$(GO) test -run '^$$' -fuzz FuzzDecryptHostile -fuzztime $(FUZZTIME) ./internal/cryptofrag
+	$(GO) test -run '^$$' -fuzz FuzzKernels -fuzztime $(FUZZTIME) ./internal/raid
+	$(GO) test -run '^$$' -fuzz FuzzEncodeReconstruct -fuzztime $(FUZZTIME) ./internal/raid
+
+# Data-plane benchmarks: RAID kernels and distributor read path, three
+# interleaved repetitions, summarized to $(BENCHOUT) with speedups over
+# the recorded pre-optimization baselines.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count 3 \
+		./internal/raid ./internal/core | $(GO) run ./cmd/benchjson -out $(BENCHOUT)
+
+# One-iteration smoke run for CI: proves every benchmark still compiles
+# and executes without spending CI minutes on stable numbers.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./internal/raid ./internal/core | $(GO) run ./cmd/benchjson -out /dev/null
 
 fmt:
 	gofmt -l -w .

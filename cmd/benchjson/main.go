@@ -1,0 +1,169 @@
+// Command benchjson summarizes `go test -bench` output into a JSON
+// report. It reads the benchmark text from stdin, aggregates repeated
+// runs (-count N) by taking the fastest repetition — the least-noise
+// estimate on a shared machine — and emits per-benchmark numbers plus
+// two derived sections:
+//
+//   - kernel_speedups: word-wide kernel vs the scalar reference compiled
+//     into the same binary (the scalar/word sub-benchmark pairs), and
+//   - baseline_speedups: current numbers vs the recorded
+//     pre-optimization baselines of the data-plane fast-path work.
+//
+// Usage: go test -bench . -benchmem ./... | benchjson -out BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's aggregated numbers.
+type result struct {
+	NsOp     float64 `json:"ns_op"`
+	MBs      float64 `json:"mb_s,omitempty"`
+	BOp      int64   `json:"b_op,omitempty"`
+	AllocsOp int64   `json:"allocs_op,omitempty"`
+	Runs     int     `json:"runs"`
+}
+
+// baseline records a pre-optimization measurement this report compares
+// against. Captured on the same class of machine before the word-wide
+// kernels, pooled buffers and single-buffer file assembly landed.
+type baseline struct {
+	NsOp     float64 `json:"ns_op,omitempty"`
+	AllocsOp int64   `json:"allocs_op,omitempty"`
+	Note     string  `json:"note"`
+}
+
+// baselines are the seed-tree numbers the fast-path acceptance criteria
+// are measured against.
+var baselines = map[string]baseline{
+	"BenchmarkStripe/raid5/64KiB": {
+		NsOp: 146975, Note: "scalar byte-loop parity, seed tree"},
+	"BenchmarkStripe/raid6/64KiB": {
+		NsOp: 469695, Note: "scalar byte-loop P+Q, seed tree"},
+	"BenchmarkReconstruct/raid6/2data/64KiB": {
+		NsOp: 419898, Note: "scalar two-loss solve, seed tree"},
+	"BenchmarkGetFile/plain/256KiB": {
+		NsOp: 1344019, AllocsOp: 139, Note: "per-chunk slices + concat assembly, seed tree"},
+	"BenchmarkGetFile/mislead/256KiB": {
+		NsOp: 9795698, AllocsOp: 139, Note: "map-lookup Strip + concat assembly, seed tree"},
+}
+
+// kernelPairs maps a word-kernel benchmark to its scalar reference run
+// from the same binary; the ratio is the in-tree kernel speedup.
+var kernelPairs = map[string]string{
+	"BenchmarkParityKernel/raid6/word/64KiB":            "BenchmarkParityKernel/raid6/scalar/64KiB",
+	"BenchmarkReconstructKernel/raid6/2data/word/64KiB": "BenchmarkReconstructKernel/raid6/2data/scalar/64KiB",
+}
+
+// report is the emitted JSON document.
+type report struct {
+	Results          map[string]result   `json:"results"`
+	KernelSpeedups   map[string]float64  `json:"kernel_speedups"`
+	BaselineSpeedups map[string]float64  `json:"baseline_speedups"`
+	Baselines        map[string]baseline `json:"baselines"`
+}
+
+// benchLine matches one `go test -bench` result line, with the optional
+// -benchmem and MB/s columns.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "", "write the JSON report to this file ('' or '-' = stdout)")
+	flag.Parse()
+
+	results := make(map[string]result)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		r, seen := results[name]
+		if !seen || ns < r.NsOp {
+			r.NsOp = ns
+			if m[3] != "" {
+				r.MBs, _ = strconv.ParseFloat(m[3], 64)
+			}
+			if m[4] != "" {
+				r.BOp, _ = strconv.ParseInt(m[4], 10, 64)
+			}
+			if m[5] != "" {
+				r.AllocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+			}
+		}
+		r.Runs++
+		results[name] = r
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	rep := report{
+		Results:          results,
+		KernelSpeedups:   make(map[string]float64),
+		BaselineSpeedups: make(map[string]float64),
+		Baselines:        baselines,
+	}
+	for word, scalar := range kernelPairs {
+		w, okW := results[word]
+		s, okS := results[scalar]
+		if okW && okS && w.NsOp > 0 {
+			rep.KernelSpeedups[word] = round2(s.NsOp / w.NsOp)
+		}
+	}
+	for name, base := range baselines {
+		r, ok := results[name]
+		if !ok || r.NsOp <= 0 {
+			continue
+		}
+		if base.NsOp > 0 {
+			rep.BaselineSpeedups[name] = round2(base.NsOp / r.NsOp)
+		}
+		if base.AllocsOp > 0 && r.AllocsOp > 0 {
+			rep.BaselineSpeedups[name+"#allocs"] = round2(float64(base.AllocsOp) / float64(r.AllocsOp))
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" || *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: %d benchmarks -> %s\n", len(results), *out)
+	for n, x := range rep.KernelSpeedups {
+		fmt.Printf("  kernel  %-55s %.2fx vs scalar\n", shortName(n), x)
+	}
+	for n, x := range rep.BaselineSpeedups {
+		fmt.Printf("  vs-seed %-55s %.2fx\n", shortName(n), x)
+	}
+}
+
+func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }
+
+func shortName(n string) string { return strings.TrimPrefix(n, "Benchmark") }

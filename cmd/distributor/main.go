@@ -30,6 +30,7 @@ func main() {
 		width     = flag.Int("stripe-width", 4, "max data shards per RAID stripe")
 		raid6     = flag.Bool("raid6", false, "default to RAID-6 instead of RAID-5")
 		secret    = flag.String("secret", "cloud-data-distributor", "virtual-id PRF secret")
+		cacheB    = flag.Int64("cache-bytes", 0, "read-side chunk cache bound in bytes (0 disables)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 		DefaultRaid: level,
 		StripeWidth: *width,
 		Secret:      []byte(*secret),
+		CacheBytes:  *cacheB,
 	})
 	if err != nil {
 		log.Fatalf("distributor: %v", err)

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/privacy"
 )
 
@@ -62,7 +63,11 @@ func SplitSize(data []byte, size int, level privacy.Level) ([]Chunk, error) {
 		if hi > len(data) {
 			hi = len(data)
 		}
-		payload := make([]byte, hi-lo)
+		// Chunk buffers come from the data-plane pool: chunk sizes are
+		// fixed per privacy level, so they recycle perfectly. Callers that
+		// finish with a chunk may bufpool.Put its Data; callers that hand
+		// the bytes onward simply let the GC take them.
+		payload := bufpool.Get(hi - lo)
 		copy(payload, data[lo:hi])
 		chunks = append(chunks, Chunk{
 			Serial: i,

@@ -50,6 +50,89 @@ func benchDistributor(b *testing.B, n int, putLatency time.Duration) *Distributo
 	return d
 }
 
+// benchReadDistributor builds a zero-latency distributor holding one
+// uploaded file, for read-path benchmarks.
+func benchReadDistributor(b *testing.B, fileBytes int, mislead float64, cacheBytes int64) (*Distributor, []byte) {
+	b.Helper()
+	f, err := provider.NewFleet()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		mem, err := provider.New(provider.Info{
+			Name: fmt.Sprintf("R%d", i), PL: privacy.High, CL: 1,
+		}, provider.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Add(mem); err != nil {
+			b.Fatal(err)
+		}
+	}
+	d, err := New(Config{Fleet: f, Parallelism: 4, CacheBytes: cacheBytes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.RegisterClient("alice"); err != nil {
+		b.Fatal(err)
+	}
+	if err := d.AddPassword("alice", "root", privacy.High); err != nil {
+		b.Fatal(err)
+	}
+	data := payload(fileBytes, 7)
+	if _, err := d.Upload("alice", "root", "bench.bin", data, privacy.Moderate, UploadOptions{MisleadFraction: mislead}); err != nil {
+		b.Fatal(err)
+	}
+	return d, data
+}
+
+// BenchmarkGetFile measures the hot whole-file read path: fetch plans,
+// provider gets, mislead stripping and final assembly. allocs/op is the
+// acceptance metric for the pooled/into-buffer assembly path.
+func BenchmarkGetFile(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		mislead float64
+	}{{"plain", 0}, {"mislead", 0.1}} {
+		b.Run(cfg.name+"/256KiB", func(b *testing.B) {
+			d, want := benchReadDistributor(b, 256<<10, cfg.mislead, 0)
+			b.SetBytes(int64(len(want)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := d.GetFile("alice", "root", "bench.bin")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(got) != len(want) {
+					b.Fatalf("got %d bytes, want %d", len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGetChunk measures single-chunk reads, cold (no cache) and hot
+// (served from the generation-aware chunk cache without provider I/O).
+func BenchmarkGetChunk(b *testing.B) {
+	for _, cfg := range []struct {
+		name       string
+		cacheBytes int64
+	}{{"cold", 0}, {"cached", 32 << 20}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			d, _ := benchReadDistributor(b, 256<<10, 0, cfg.cacheBytes)
+			b.SetBytes(16 << 10)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.GetChunk("alice", "root", "bench.bin", 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkConcurrentUploads measures upload throughput as client
 // concurrency grows. With provider I/O outside d.mu the ns/op figure
 // should drop markedly from workers=1 to workers=4 and 8; under the old

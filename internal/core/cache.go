@@ -1,0 +1,154 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheKey identifies one chunk generation. FID is the file's unique id
+// (fresh per upload, so a remove + re-upload of the same filename can
+// never alias an old entry) and gen is the file's mutation generation at
+// read-plan time. A committed mutation bumps the generation, making
+// every cached entry of the previous generation unreachable — a racing
+// reader that inserts pre-update bytes inserts them under the old
+// generation's key, which no future reader ever looks up.
+type cacheKey struct {
+	fid    uint64
+	serial int
+	gen    uint64
+}
+
+// cacheItem is one resident chunk: the recovered (post-strip,
+// post-decrypt) bytes, owned by the cache.
+type cacheItem struct {
+	key  cacheKey
+	data []byte
+}
+
+// chunkCache is a bounded LRU over recovered chunk bytes, keyed by
+// (file id, serial, generation). Capacity is counted in payload bytes.
+// A nil *chunkCache is valid and behaves as "disabled" — every method
+// is nil-safe so call sites need no guards.
+type chunkCache struct {
+	mu    sync.Mutex
+	cap   int64
+	size  int64
+	ll    *list.List // front = most recently used
+	items map[cacheKey]*list.Element
+
+	hits, misses, evictions atomic.Int64
+}
+
+// newChunkCache returns a cache bounded to capBytes, or nil (disabled)
+// when capBytes is zero.
+func newChunkCache(capBytes int64) *chunkCache {
+	if capBytes <= 0 {
+		return nil
+	}
+	return &chunkCache{
+		cap:   capBytes,
+		ll:    list.New(),
+		items: make(map[cacheKey]*list.Element),
+	}
+}
+
+// get returns a copy of the cached chunk — callers own their result, the
+// resident buffer never escapes — and records the hit or miss.
+func (c *chunkCache) get(key cacheKey) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	data := el.Value.(*cacheItem).data
+	out := make([]byte, len(data))
+	copy(out, data)
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return out, true
+}
+
+// put stores a copy of data under key, evicting least-recently-used
+// entries until the cache fits its byte bound. Oversized chunks are not
+// cached; duplicate inserts (two racing readers of the same chunk) keep
+// the resident entry.
+func (c *chunkCache) put(key cacheKey, data []byte) {
+	if c == nil || int64(len(data)) > c.cap {
+		return
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.items[key]; dup {
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, data: cp})
+	c.size += int64(len(cp))
+	for c.size > c.cap {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.evictLocked(back)
+		c.evictions.Add(1)
+	}
+}
+
+// remove drops one entry — the proactive invalidation hook update and
+// remove commits use so superseded bytes free immediately instead of
+// aging out.
+func (c *chunkCache) remove(key cacheKey) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.evictLocked(el)
+	}
+}
+
+// evictLocked unlinks one element. Callers hold c.mu.
+func (c *chunkCache) evictLocked(el *list.Element) {
+	it := el.Value.(*cacheItem)
+	c.ll.Remove(el)
+	delete(c.items, it.key)
+	c.size -= int64(len(it.data))
+}
+
+// CacheStats is the cache's externally visible state, surfaced through
+// Metrics() and the health endpoint.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Bytes     int64 `json:"bytes"`
+	Entries   int   `json:"entries"`
+	Capacity  int64 `json:"capacity"`
+}
+
+// stats snapshots the cache counters; the zero value means "disabled".
+func (c *chunkCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	bytes, entries := c.size, len(c.items)
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Bytes:     bytes,
+		Entries:   entries,
+		Capacity:  c.cap,
+	}
+}

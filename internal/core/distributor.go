@@ -38,6 +38,10 @@ type Config struct {
 	Parallelism int
 	// MisleadSeed makes decoy injection reproducible.
 	MisleadSeed int64
+	// CacheBytes bounds the distributor's read-side chunk cache in bytes.
+	// 0 disables caching (every read goes to the providers); negative is
+	// rejected.
+	CacheBytes int64
 	// Health tunes the per-provider circuit breakers. The zero value
 	// selects the health package defaults.
 	Health health.Config
@@ -74,6 +78,12 @@ type Distributor struct {
 
 	counters opCounters
 	encNonce uint64
+	fidSeq   uint64 // last assigned fileEntry.FID
+
+	// cache holds recovered chunk bytes keyed by (file id, serial,
+	// generation); nil when Config.CacheBytes is 0. Lock order: d.mu may
+	// be held while taking cache.mu, never the reverse.
+	cache *chunkCache
 }
 
 // nextEncNonce returns a fresh AES-CTR nonce. Callers hold d.mu.
@@ -115,6 +125,9 @@ func New(cfg Config) (*Distributor, error) {
 	if par < 1 {
 		return nil, fmt.Errorf("%w: parallelism %d", ErrConfig, par)
 	}
+	if cfg.CacheBytes < 0 {
+		return nil, fmt.Errorf("%w: cache bytes %d", ErrConfig, cfg.CacheBytes)
+	}
 	vids := cfg.VIDs
 	if vids == nil {
 		secret := cfg.Secret
@@ -137,6 +150,7 @@ func New(cfg Config) (*Distributor, error) {
 		provPending: make([]int, cfg.Fleet.Len()),
 		inflight:    make(map[string]int),
 		reserved:    make(map[string]bool),
+		cache:       newChunkCache(cfg.CacheBytes),
 	}, nil
 }
 
@@ -273,18 +287,35 @@ func (d *Distributor) gatedPut(provIdx int, vid string, payload []byte) error {
 // string) are joined so a multi-provider failure is diagnosable from one
 // message instead of whichever error won the race.
 func (d *Distributor) fanOut(jobs []func() error) error {
-	if len(jobs) == 0 {
+	return d.fanOutN(len(jobs), func(i int) error { return jobs[i]() })
+}
+
+// fanOutN is fanOut over indices 0..n-1 — the allocation-light form the
+// bulk read path uses: one shared closure instead of a job slice with a
+// closure per chunk.
+func (d *Distributor) fanOutN(n int, fn func(int) error) error {
+	if n == 0 {
 		return nil
 	}
-	errs := d.fanOutEach(jobs)
-	seen := make(map[string]bool)
+	errs := make([]error, n)
+	d.runParallel(n, func(i int) { errs[i] = fn(i) })
 	var distinct []error
+	var seen map[string]bool
 	for _, err := range errs {
-		if err == nil || seen[err.Error()] {
+		if err == nil {
+			continue
+		}
+		if seen == nil {
+			seen = make(map[string]bool)
+		}
+		if seen[err.Error()] {
 			continue
 		}
 		seen[err.Error()] = true
 		distinct = append(distinct, err)
+	}
+	if distinct == nil {
+		return nil
 	}
 	return errors.Join(distinct...)
 }

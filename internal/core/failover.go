@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/privacy"
 )
@@ -268,17 +269,39 @@ func (d *Distributor) rollbackStored(stored []storedShard) {
 // order, which deterministic fault-injection tests rely on.
 func (d *Distributor) fanOutEach(jobs []func() error) []error {
 	errs := make([]error, len(jobs))
-	sem := make(chan struct{}, d.parallelism)
+	d.runParallel(len(jobs), func(i int) { errs[i] = jobs[i]() })
+	return errs
+}
+
+// runParallel invokes fn(0..n-1) with bounded parallelism through a
+// fixed worker pool pulling indices from a shared counter: a handful of
+// allocations per call regardless of n, instead of a goroutine funcval
+// and semaphore slot per job.
+func (d *Distributor) runParallel(n int, fn func(int)) {
+	workers := d.parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i, job := range jobs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, j func() error) {
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			errs[i] = j()
-		}(i, job)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
 	}
 	wg.Wait()
-	return errs
 }

@@ -42,3 +42,10 @@ func (d *Distributor) Health() []ProviderHealth {
 	}
 	return out
 }
+
+// CacheHealth reports the chunk cache's hit/miss/eviction counters and
+// residency, for the health endpoint. Like Health it does not take d.mu.
+// All-zero (Capacity 0) means caching is disabled.
+func (d *Distributor) CacheHealth() CacheStats {
+	return d.cache.stats()
+}

@@ -20,6 +20,9 @@ type OpMetrics struct {
 	RollbackDeletes  int64 // best-effort deletes issued unwinding a failed write
 	CircuitOpens     int64 // provider circuit-breaker open events
 	ProbeSuccesses   int64 // half-open probes that closed a circuit
+	// Cache reports the read-side chunk cache; all-zero when caching is
+	// disabled (Config.CacheBytes == 0).
+	Cache CacheStats
 }
 
 // opCounters is the internal atomic representation.
@@ -47,5 +50,6 @@ func (d *Distributor) Metrics() OpMetrics {
 		RollbackDeletes:  d.counters.rollbackDeletes.Load(),
 		CircuitOpens:     opens,
 		ProbeSuccesses:   probes,
+		Cache:            d.cache.stats(),
 	}
 }

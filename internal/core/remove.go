@@ -108,6 +108,9 @@ func (d *Distributor) RemoveFile(client, password, filename string) error {
 	}
 	c.Count -= remaining
 	delete(c.Files, filename)
+	for serial := range fe.ChunkIdx {
+		d.cache.remove(cacheKey{fid: fe.FID, serial: serial, gen: fileGen})
+	}
 	fe.Gen++
 	c.Gen++
 	d.gen++
@@ -302,6 +305,7 @@ func (d *Distributor) RemoveChunk(client, password, filename string, serial int)
 	e.Mirrors = nil
 	fe.ChunkIdx[serial] = -1
 	c.Count--
+	d.cache.remove(cacheKey{fid: fe.FID, serial: serial, gen: fileGen})
 	fe.Gen++
 	d.gen++
 	d.counters.removes.Add(1)

@@ -1,10 +1,10 @@
 package core
 
 import (
-	"bytes"
 	"crypto/sha256"
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/cryptofrag"
 	"repro/internal/mislead"
 	"repro/internal/provider"
@@ -23,11 +23,25 @@ func (d *Distributor) GetChunk(client, password, filename string, serial int) ([
 		return nil, err
 	}
 	d.counters.chunkReads.Add(1)
+	fe := d.clients[client].Files[filename]
+	key := cacheKey{fid: fe.FID, serial: serial, gen: fe.Gen}
+	if data, ok := d.cache.get(key); ok {
+		d.mu.Unlock()
+		return data, nil
+	}
 	plan := d.planFetch(entry)
 	d.mu.Unlock()
 	// The provider round-trips happen outside d.mu so one slow or dark
 	// provider cannot stall every other client request.
-	return d.fetchChunkPlan(&plan)
+	data, err := d.fetchChunkPlan(&plan)
+	if err != nil {
+		return nil, err
+	}
+	// A reader that raced a commit inserts under the generation it planned
+	// against; if that generation is already superseded the entry is
+	// unreachable (no future reader computes the old key) and ages out.
+	d.cache.put(key, data)
+	return data, nil
 }
 
 // GetFile serves a whole file — the paper's get_file(client name,
@@ -51,35 +65,66 @@ func (d *Distributor) GetFile(client, password, filename string) ([]byte, error)
 		return nil, err
 	}
 	// Snapshot every chunk's fetch plan under the lock, then do all the
-	// provider I/O outside it.
+	// provider I/O outside it. Chunks resident in the cache skip planning
+	// entirely: their recovered bytes are copied out here (the cache is
+	// generation-keyed, so fe.Gen under this lock pins a consistent view)
+	// and the fan-out below only places them.
+	fid, fileGen := fe.FID, fe.Gen
 	plans := make([]fetchPlan, len(fe.ChunkIdx))
+	var cached [][]byte
+	if d.cache != nil {
+		cached = make([][]byte, len(fe.ChunkIdx))
+	}
 	for serial, idx := range fe.ChunkIdx {
 		if idx < 0 {
 			d.mu.Unlock()
 			return nil, fmt.Errorf("%w: serial %d was removed", ErrNoSuchChunk, serial)
 		}
+		if cached != nil {
+			if data, ok := d.cache.get(cacheKey{fid: fid, serial: serial, gen: fileGen}); ok {
+				cached[serial] = data
+				continue
+			}
+		}
 		plans[serial] = d.planFetch(&d.chunks[idx])
 	}
 	d.mu.Unlock()
 
-	parts := make([][]byte, len(plans))
-	jobs := make([]func() error, 0, len(plans))
+	// The whole file is assembled into one buffer sized from the chunk
+	// entries' data lengths; each fetch job recovers its chunk directly
+	// into its segment (offset = prefix sum of the preceding chunks), so
+	// no per-chunk result slices or final concatenation exist.
+	offs := make([]int, len(plans)+1)
 	for serial := range plans {
-		serial := serial
-		jobs = append(jobs, func() error {
-			data, err := d.fetchChunkPlan(&plans[serial])
-			if err != nil {
-				return err
-			}
-			parts[serial] = data
-			return nil
-		})
+		n := plans[serial].entry.DataLen
+		if cached != nil && cached[serial] != nil {
+			n = len(cached[serial]) // cache stores recovered bytes, len == DataLen
+		}
+		offs[serial+1] = offs[serial] + n
 	}
-	if err := d.fanOut(jobs); err != nil {
+	buf := make([]byte, offs[len(plans)])
+	err = d.fanOutN(len(plans), func(serial int) error {
+		seg := buf[offs[serial]:offs[serial]:offs[serial+1]]
+		if cached != nil && cached[serial] != nil {
+			copy(seg[:cap(seg)], cached[serial])
+			return nil
+		}
+		plan := &plans[serial]
+		payload, err := d.fetchPayloadPlan(plan)
+		if err != nil {
+			return err
+		}
+		if err := stripAndVerifyInto(&plan.entry, payload, seg); err != nil {
+			return err
+		}
+		d.cache.put(cacheKey{fid: fid, serial: serial, gen: fileGen}, buf[offs[serial]:offs[serial+1]])
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	d.counters.fileReads.Add(1)
-	return bytes.Join(parts, nil), nil
+	return buf, nil
 }
 
 // ChunkCount reports how many chunks a file has (what the distributor
@@ -154,6 +199,7 @@ func (d *Distributor) planFetch(entry *chunkEntry) fetchPlan {
 	plan.shardLen = st.ShardLen
 	plan.dataShards = len(st.Members)
 	plan.parityCount = len(st.Parity)
+	plan.siblings = make([]shardRef, 0, len(st.Members)+len(st.Parity))
 	for i, cidx := range st.Members {
 		m := &d.chunks[cidx]
 		if m.VirtualID == entry.VirtualID {
@@ -206,6 +252,35 @@ func stripAndVerify(entry *chunkEntry, payload []byte) ([]byte, error) {
 	return data, nil
 }
 
+// stripAndVerifyInto is stripAndVerify recovering the chunk into dst, a
+// zero-length slice whose capacity is exactly entry.DataLen (one segment
+// of a caller-preallocated buffer). The length precheck guarantees the
+// recovery cannot outgrow the segment, so the bytes land in place.
+func stripAndVerifyInto(entry *chunkEntry, payload, dst []byte) error {
+	if entry.EncKey != nil {
+		data, err := cryptofrag.Decrypt(entry.EncKey, payload)
+		if err != nil {
+			return fmt.Errorf("%w: decrypting chunk: %v", ErrUnavailable, err)
+		}
+		if len(data) != entry.DataLen || sha256.Sum256(data) != entry.Sum {
+			return fmt.Errorf("%w: checksum mismatch for %s/%s#%d", ErrUnavailable, entry.Client, entry.Filename, entry.Serial)
+		}
+		copy(dst[:entry.DataLen], data)
+		return nil
+	}
+	if len(payload)-entry.Mislead.Count() != entry.DataLen {
+		return fmt.Errorf("%w: checksum mismatch for %s/%s#%d", ErrUnavailable, entry.Client, entry.Filename, entry.Serial)
+	}
+	data, err := mislead.StripTo(dst, payload, entry.Mislead)
+	if err != nil {
+		return fmt.Errorf("core: stripping misleading bytes: %w", err)
+	}
+	if sha256.Sum256(data) != entry.Sum {
+		return fmt.Errorf("%w: checksum mismatch for %s/%s#%d", ErrUnavailable, entry.Client, entry.Filename, entry.Serial)
+	}
+	return nil
+}
+
 // fetchPayloadPlan returns the stored payload (post-mislead bytes). The
 // fallback ladder is: primary provider → mirror replicas → RAID
 // reconstruction from the stripe. It takes no locks.
@@ -246,7 +321,9 @@ func (d *Distributor) tryGet(provIdx int, vid string, wantLen int) ([]byte, bool
 }
 
 // reconstructPlan rebuilds one chunk from the surviving members of its
-// stripe, as snapshotted in the plan. It takes no locks.
+// stripe, as snapshotted in the plan. It takes no locks. The surviving
+// shards are pooled scratch released before returning; the rebuilt
+// payload is copied out so no pooled buffer ever escapes the read path.
 func (d *Distributor) reconstructPlan(plan *fetchPlan) ([]byte, error) {
 	if plan.level.ParityShards() == 0 {
 		return nil, fmt.Errorf("%w: provider down and no parity (raid level none)", ErrUnavailable)
@@ -255,12 +332,19 @@ func (d *Distributor) reconstructPlan(plan *fetchPlan) ([]byte, error) {
 		return nil, fmt.Errorf("%w: chunk not a member of its stripe", ErrUnavailable)
 	}
 	shards := make([][]byte, plan.dataShards+plan.parityCount)
+	var pooled [][]byte
+	defer func() {
+		for _, b := range pooled {
+			bufpool.Put(b)
+		}
+	}()
 	for _, ref := range plan.siblings {
 		payload, err := d.rawShard(ref.provIdx, ref.vid, plan.shardLen, ref.payloadLen)
 		if err != nil {
 			continue // surviving-shard fetch failed; leave nil for decoder
 		}
 		shards[ref.slot] = payload
+		pooled = append(pooled, payload)
 	}
 	stripe := &raid.Stripe{Level: plan.level, Shards: shards, DataShards: plan.dataShards}
 	if err := stripe.Reconstruct(); err != nil {
@@ -270,11 +354,14 @@ func (d *Distributor) reconstructPlan(plan *fetchPlan) ([]byte, error) {
 	if len(rebuilt) < plan.entry.PayloadLen {
 		return nil, fmt.Errorf("%w: rebuilt shard shorter than payload", ErrUnavailable)
 	}
-	return rebuilt[:plan.entry.PayloadLen], nil
+	out := make([]byte, plan.entry.PayloadLen)
+	copy(out, rebuilt)
+	return out, nil
 }
 
-// rawShard fetches one shard with transient retry and zero-pads it to
-// the stripe's shard length so parity math lines up.
+// rawShard fetches one shard with transient retry and zero-pads it (in a
+// pooled buffer the caller releases) to the stripe's shard length so
+// parity math lines up.
 func (d *Distributor) rawShard(provIdx int, vid string, shardLen, payloadLen int) ([]byte, error) {
 	var payload []byte
 	err := d.providerOp(provIdx, func(p provider.Provider) error {
@@ -288,7 +375,8 @@ func (d *Distributor) rawShard(provIdx int, vid string, shardLen, payloadLen int
 	if len(payload) != payloadLen {
 		return nil, fmt.Errorf("%w: shard length %d, want %d", ErrUnavailable, len(payload), payloadLen)
 	}
-	out := make([]byte, shardLen)
-	copy(out, payload)
+	out := bufpool.Get(shardLen)
+	n := copy(out, payload)
+	clear(out[n:])
 	return out, nil
 }

@@ -120,6 +120,11 @@ type stripeEntry struct {
 type fileEntry struct {
 	Filename string
 	PL       privacy.Level
+	// FID is a distributor-unique file id, assigned at upload and never
+	// reused. Cache keys use it instead of (client, filename) so a remove
+	// followed by a re-upload of the same name can never alias cached
+	// chunks of the dead file.
+	FID uint64
 	// ChunkIdx[serial] is the Chunk Table index of that serial.
 	ChunkIdx []int
 	Raid     raid.Level

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/cryptofrag"
 	"repro/internal/mislead"
 	"repro/internal/provider"
@@ -224,14 +225,33 @@ func (d *Distributor) UpdateChunk(client, password, filename string, serial int,
 				shardLen = len(pv)
 			}
 		}
+		// Pooled scratch: zero-padded copies for short shards plus the
+		// parity outputs. Providers copy on Put, so everything drawn here
+		// is dead once the parity writes finish.
+		var pooled [][]byte
+		defer func() {
+			for _, b := range pooled {
+				bufpool.Put(b)
+			}
+		}()
 		padded := make([][]byte, len(payloads))
 		for i, p := range payloads {
-			pad := make([]byte, shardLen)
-			copy(pad, p)
+			if len(p) == shardLen {
+				padded[i] = p
+				continue
+			}
+			pad := bufpool.Get(shardLen)
+			n := copy(pad, p)
+			clear(pad[n:])
 			padded[i] = pad
+			pooled = append(pooled, pad)
 		}
-		stripe, err := raid.Encode(level, padded)
-		if err != nil {
+		parityBufs := make([][]byte, len(newParity))
+		for pi := range parityBufs {
+			parityBufs[pi] = bufpool.Get(shardLen)
+			pooled = append(pooled, parityBufs[pi])
+		}
+		if err := raid.ParityInto(level, padded, parityBufs); err != nil {
 			return abort(fmt.Errorf("core: re-encode: %w", err))
 		}
 		for pi := range newParity {
@@ -244,7 +264,7 @@ func (d *Distributor) UpdateChunk(client, password, filename string, serial int,
 					pex[newParity[pj].CPIndex] = true
 				}
 			}
-			pProv, pVID, err := d.rehomePut(pl, newParity[pi].CPIndex, newParity[pi].VirtualID, stripe.Shards[len(members)+pi], pex, t)
+			pProv, pVID, err := d.rehomePut(pl, newParity[pi].CPIndex, newParity[pi].VirtualID, parityBufs[pi], pex, t)
 			if err != nil {
 				return abort(fmt.Errorf("core: rewriting parity: %w", err))
 			}
@@ -295,6 +315,11 @@ func (d *Distributor) UpdateChunk(client, password, filename string, serial int,
 	}
 	fe.Gen++
 	d.gen++
+	// Drop the superseded generation's cached bytes eagerly. The key uses
+	// fileGen (the generation this update planned against — the one
+	// readers of the old bytes inserted under); entries under even older
+	// generations are already unreachable and age out.
+	d.cache.remove(cacheKey{fid: fe.FID, serial: serial, gen: fileGen})
 	d.counters.updates.Add(1)
 	d.mu.Unlock()
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/chunker"
 	"repro/internal/cryptofrag"
 	"repro/internal/mislead"
@@ -86,6 +87,19 @@ func (d *Distributor) Upload(client, password, filename string, data []byte, pl 
 		d.mu.Unlock()
 		return FileInfo{}, err
 	}
+	// Every pooled buffer this upload draws (chunk splits, stripe padding,
+	// parity) is dead once the function returns: providers copy payloads on
+	// Put and the committed tables hold only metadata, so the deferred
+	// release cannot race anything live.
+	pooled := make([][]byte, 0, len(chunks))
+	defer func() {
+		for _, b := range pooled {
+			bufpool.Put(b)
+		}
+	}()
+	for _, ch := range chunks {
+		pooled = append(pooled, ch.Data)
+	}
 
 	// Prepare payloads (with optional misleading data) per chunk. This
 	// stays in the plan phase: the mislead RNG and the encryption nonce
@@ -128,7 +142,8 @@ func (d *Distributor) Upload(client, password, filename string, data []byte, pl 
 		return FileInfo{}, err
 	}
 
-	fe := &fileEntry{Filename: filename, PL: pl, Raid: level, ChunkIdx: make([]int, len(chunks))}
+	d.fidSeq++
+	fe := &fileEntry{Filename: filename, PL: pl, FID: d.fidSeq, Raid: level, ChunkIdx: make([]int, len(chunks))}
 
 	// Staged rows use positions relative to the staged slices — the live
 	// table lengths can change while the ship phase runs, so absolute
@@ -214,13 +229,25 @@ func (d *Distributor) Upload(client, password, filename string, data []byte, pl 
 			})
 			d.stageLocked(t, provIdx, vid)
 
-			pad := make([]byte, shardLen)
-			copy(pad, p.payload)
-			padded[gi] = pad
+			// Parity math needs equal-length shards; only payloads shorter
+			// than the stripe width get a pooled, zero-padded copy.
+			if len(p.payload) == shardLen {
+				padded[gi] = p.payload
+			} else {
+				pad := bufpool.Get(shardLen)
+				n := copy(pad, p.payload)
+				clear(pad[n:])
+				padded[gi] = pad
+				pooled = append(pooled, pad)
+			}
 		}
 		if parity > 0 {
-			stripe, err := raid.Encode(level, padded)
-			if err != nil {
+			parityBufs := make([][]byte, parity)
+			for pi := range parityBufs {
+				parityBufs[pi] = bufpool.Get(shardLen)
+				pooled = append(pooled, parityBufs[pi])
+			}
+			if err := raid.ParityInto(level, padded, parityBufs); err != nil {
 				abortLocked()
 				d.mu.Unlock()
 				return FileInfo{}, err
@@ -232,7 +259,7 @@ func (d *Distributor) Upload(client, password, filename string, data []byte, pl 
 				shards = append(shards, stagedShard{
 					kind: shardParity, chunkPos: -1, mirrorPos: -1,
 					stripePos: stripePos, parityPos: pi,
-					provIdx: provIdx, vid: vid, payload: stripe.Shards[len(group)+pi],
+					provIdx: provIdx, vid: vid, payload: parityBufs[pi],
 				})
 				d.stageLocked(t, provIdx, vid)
 			}

@@ -97,26 +97,35 @@ func decoyByte(data []byte, rng *rand.Rand) byte {
 }
 
 // Strip removes the injected bytes, recovering the original payload.
+// The returned slice has exact capacity — it retains nothing beyond the
+// recovered bytes.
 func Strip(inflated []byte, inj Injection) ([]byte, error) {
 	if err := inj.Validate(len(inflated)); err != nil {
 		return nil, err
 	}
-	if len(inj.Positions) == 0 {
-		out := make([]byte, len(inflated))
-		copy(out, inflated)
-		return out, nil
-	}
-	isDecoy := make(map[int]bool, len(inj.Positions))
-	for _, p := range inj.Positions {
-		isDecoy[p] = true
-	}
 	out := make([]byte, 0, len(inflated)-len(inj.Positions))
-	for i, b := range inflated {
-		if !isDecoy[i] {
-			out = append(out, b)
-		}
+	return StripTo(out, inflated, inj)
+}
+
+// StripTo is Strip appending into dst — typically a zero-length slice of
+// a caller-owned buffer (e.g. one segment of a preallocated whole-file
+// buffer), so bulk reads recover chunks in place without intermediate
+// allocations. Returns the extended slice; if dst lacks capacity the
+// usual append reallocation applies.
+//
+// Positions are strictly increasing (Validate enforces it), so the kept
+// bytes are the gaps between consecutive decoys: copy each gap with one
+// bulk append instead of testing every byte against a position set.
+func StripTo(dst, inflated []byte, inj Injection) ([]byte, error) {
+	if err := inj.Validate(len(inflated)); err != nil {
+		return nil, err
 	}
-	return out, nil
+	prev := 0
+	for _, p := range inj.Positions {
+		dst = append(dst, inflated[prev:p]...)
+		prev = p + 1
+	}
+	return append(dst, inflated[prev:]...), nil
 }
 
 // InjectLines inserts whole misleading records (lines) into line-oriented

@@ -1,0 +1,61 @@
+package raid
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchShards builds k equal-length data shards of shardLen random bytes.
+func benchShards(k, shardLen int) [][]byte {
+	rng := rand.New(rand.NewSource(42))
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, shardLen)
+		rng.Read(data[i])
+	}
+	return data
+}
+
+// BenchmarkStripe measures full-stripe parity encoding. The 64KiB shard
+// size is the acceptance point for the kernel speedup; RAID-6 exercises
+// both the XOR (P) and GF-multiply (Q) kernels.
+func BenchmarkStripe(b *testing.B) {
+	const shardLen = 64 << 10
+	for _, level := range []Level{RAID5, RAID6} {
+		data := benchShards(4, shardLen)
+		b.Run(fmt.Sprintf("%v/64KiB", level), func(b *testing.B) {
+			b.SetBytes(int64(4 * shardLen))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Encode(level, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReconstruct measures the worst-case RAID-6 repair: two data
+// shards lost, recovered through the P/Q solve.
+func BenchmarkReconstruct(b *testing.B) {
+	const shardLen = 64 << 10
+	data := benchShards(4, shardLen)
+	s, err := Encode(RAID6, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shards := make([][]byte, len(s.Shards))
+	b.Run("raid6/2data/64KiB", func(b *testing.B) {
+		b.SetBytes(int64(4 * shardLen))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(shards, s.Shards)
+			shards[1], shards[2] = nil, nil
+			st := &Stripe{Level: RAID6, Shards: shards, DataShards: 4}
+			if err := st.Reconstruct(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -69,8 +69,14 @@ func gfPow(n int) byte {
 	return gfExp[n]
 }
 
-// mulSliceXor computes dst[i] ^= c * src[i] for all i.
-func mulSliceXor(c byte, src, dst []byte) {
+// The three slice kernels below are the scalar reference
+// implementations: one byte per iteration through the log/antilog
+// tables. The optimized word-wide kernels in kernels.go are verified
+// byte-identical against them (kernels_test.go, fuzz_test.go); the hot
+// paths in raid.go call the optimized versions.
+
+// mulSliceXorRef computes dst[i] ^= c * src[i] for all i.
+func mulSliceXorRef(c byte, src, dst []byte) {
 	if c == 0 {
 		return
 	}
@@ -85,5 +91,19 @@ func mulSliceXor(c byte, src, dst []byte) {
 		if s != 0 {
 			dst[i] ^= gfExp[logC+int(gfLog[s])]
 		}
+	}
+}
+
+// mulSliceRef computes dst[i] = c * src[i] for all i.
+func mulSliceRef(c byte, src, dst []byte) {
+	for i, s := range src {
+		dst[i] = gfMul(c, s)
+	}
+}
+
+// xorSliceRef computes dst[i] ^= src[i] one byte at a time.
+func xorSliceRef(dst, src []byte) {
+	for i, s := range src {
+		dst[i] ^= s
 	}
 }

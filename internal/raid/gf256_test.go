@@ -107,16 +107,16 @@ func TestGFDivMulRoundTripProperty(t *testing.T) {
 func TestMulSliceXor(t *testing.T) {
 	src := []byte{1, 2, 3}
 	dst := []byte{10, 20, 30}
-	mulSliceXor(0, src, dst)
+	mulSliceXorRef(0, src, dst)
 	if dst[0] != 10 {
 		t.Fatal("c=0 must be a no-op")
 	}
-	mulSliceXor(1, src, dst)
+	mulSliceXorRef(1, src, dst)
 	if dst[0] != 11 || dst[1] != 22 || dst[2] != 29 {
 		t.Fatalf("c=1 XOR wrong: %v", dst)
 	}
 	dst2 := make([]byte, 3)
-	mulSliceXor(7, src, dst2)
+	mulSliceXorRef(7, src, dst2)
 	for i := range src {
 		if dst2[i] != gfMul(7, src[i]) {
 			t.Fatalf("dst2[%d] = %d, want %d", i, dst2[i], gfMul(7, src[i]))

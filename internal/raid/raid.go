@@ -91,24 +91,59 @@ func Encode(level Level, data [][]byte) (*Stripe, error) {
 	case RAID5:
 		p := make([]byte, shardLen)
 		for _, d := range data {
-			for i, b := range d {
-				p[i] ^= b
-			}
+			xorSlice(p, d)
 		}
 		s.Shards[k] = p
 	case RAID6:
 		p := make([]byte, shardLen)
 		q := make([]byte, shardLen)
-		for j, d := range data {
-			for i, b := range d {
-				p[i] ^= b
-			}
-			mulSliceXor(gfPow(j), d, q)
-		}
+		parityPQ(data, p, q)
 		s.Shards[k] = p
 		s.Shards[k+1] = q
 	}
 	return s, nil
+}
+
+// ParityInto computes level's parity shards over equal-length data
+// shards directly into the caller's buffers, without copying the data
+// or allocating: parity must hold level.ParityShards() slices, each of
+// the shards' length (contents are overwritten). This is the
+// allocation-free kernel entry the distributor's write path uses; the
+// data slices are not retained.
+func ParityInto(level Level, data [][]byte, parity [][]byte) error {
+	if !level.Valid() {
+		return fmt.Errorf("%w: unsupported level %v", ErrBadStripe, level)
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("%w: no data shards", ErrBadStripe)
+	}
+	shardLen := len(data[0])
+	for i, d := range data {
+		if len(d) != shardLen {
+			return fmt.Errorf("%w: shard %d has %d bytes, want %d", ErrBadStripe, i, len(d), shardLen)
+		}
+	}
+	if len(parity) != level.ParityShards() {
+		return fmt.Errorf("%w: %d parity buffers for %v", ErrBadStripe, len(parity), level)
+	}
+	for i, p := range parity {
+		if len(p) != shardLen {
+			return fmt.Errorf("%w: parity buffer %d has %d bytes, want %d", ErrBadStripe, i, len(p), shardLen)
+		}
+	}
+	switch level {
+	case RAID5:
+		p := parity[0]
+		for i := range p {
+			p[i] = 0
+		}
+		for _, d := range data {
+			xorSlice(p, d)
+		}
+	case RAID6:
+		parityPQ(data, parity[0], parity[1])
+	}
+	return nil
 }
 
 // Lost returns the indices of nil shards.
@@ -147,9 +182,7 @@ func (s *Stripe) Reconstruct() error {
 			if i == miss {
 				continue
 			}
-			for j, b := range sh {
-				rec[j] ^= b
-			}
+			xorSlice(rec, sh)
 		}
 		s.Shards[miss] = rec
 	case RAID6:
@@ -162,7 +195,7 @@ func (s *Stripe) Reconstruct() error {
 
 func (s *Stripe) reconstructRAID6(lost []int, k, shardLen int) error {
 	pIdx, qIdx := k, k+1
-	isLost := map[int]bool{}
+	isLost := make([]bool, k+2)
 	for _, l := range lost {
 		isLost[l] = true
 	}
@@ -173,26 +206,28 @@ func (s *Stripe) reconstructRAID6(lost []int, k, shardLen int) error {
 		}
 	}
 
-	// Recompute helpers over surviving data shards.
-	partialP := func(skip map[int]bool) []byte {
+	// Recompute helpers over surviving data shards. partialQ runs the
+	// same Horner recurrence as encoding — a skipped or missing member
+	// contributes zero but still takes its mul-by-g step, so only
+	// word-wide mul2 kernels are ever needed.
+	partialP := func(skipA, skipB int) []byte {
 		p := make([]byte, shardLen)
 		for j := 0; j < k; j++ {
-			if skip[j] || s.Shards[j] == nil {
+			if j == skipA || j == skipB || s.Shards[j] == nil {
 				continue
 			}
-			for i, b := range s.Shards[j] {
-				p[i] ^= b
-			}
+			xorSlice(p, s.Shards[j])
 		}
 		return p
 	}
-	partialQ := func(skip map[int]bool) []byte {
+	partialQ := func(skipA, skipB int) []byte {
 		q := make([]byte, shardLen)
-		for j := 0; j < k; j++ {
-			if skip[j] || s.Shards[j] == nil {
+		for j := k - 1; j >= 0; j-- {
+			if j == skipA || j == skipB || s.Shards[j] == nil {
+				mul2Slice(q)
 				continue
 			}
-			mulSliceXor(gfPow(j), s.Shards[j], q)
+			mul2SliceXor(q, s.Shards[j])
 		}
 		return q
 	}
@@ -201,36 +236,30 @@ func (s *Stripe) reconstructRAID6(lost []int, k, shardLen int) error {
 	case 0:
 		// Only parity lost: recompute.
 		if isLost[pIdx] {
-			s.Shards[pIdx] = partialP(nil)
+			s.Shards[pIdx] = partialP(-1, -1)
 		}
 		if isLost[qIdx] {
-			s.Shards[qIdx] = partialQ(nil)
+			s.Shards[qIdx] = partialQ(-1, -1)
 		}
 	case 1:
 		d := lostData[0]
 		if !isLost[pIdx] {
 			// Recover from P like RAID-5 over data+P.
-			rec := partialP(map[int]bool{d: true})
-			for i := range rec {
-				rec[i] ^= s.Shards[pIdx][i]
-			}
+			rec := partialP(d, -1)
+			xorSlice(rec, s.Shards[pIdx])
 			s.Shards[d] = rec
 			if isLost[qIdx] {
-				s.Shards[qIdx] = partialQ(nil)
+				s.Shards[qIdx] = partialQ(-1, -1)
 			}
 		} else {
 			// P lost too (or only Q available): recover d from Q.
-			rec := partialQ(map[int]bool{d: true})
-			for i := range rec {
-				rec[i] ^= s.Shards[qIdx][i]
-			}
-			inv := gfInv(gfPow(d))
-			for i := range rec {
-				rec[i] = gfMul(rec[i], inv)
-			}
+			rec := partialQ(d, -1)
+			xorSlice(rec, s.Shards[qIdx])
+			inv := makeMulTable(gfInv(gfPow(d)))
+			inv.mulSlice(rec, rec)
 			s.Shards[d] = rec
 			if isLost[pIdx] {
-				s.Shards[pIdx] = partialP(nil)
+				s.Shards[pIdx] = partialP(-1, -1)
 			}
 		}
 	case 2:
@@ -241,21 +270,15 @@ func (s *Stripe) reconstructRAID6(lost []int, k, shardLen int) error {
 		a, b := lostData[0], lostData[1]
 		// P ⊕ partialP = D_a ⊕ D_b            =: pr
 		// Q ⊕ partialQ = g^a·D_a ⊕ g^b·D_b   =: qr
-		pr := partialP(map[int]bool{a: true, b: true})
-		qr := partialQ(map[int]bool{a: true, b: true})
-		for i := range pr {
-			pr[i] ^= s.Shards[pIdx][i]
-			qr[i] ^= s.Shards[qIdx][i]
-		}
-		ga, gb := gfPow(a), gfPow(b)
-		denom := ga ^ gb // g^a + g^b in GF(2^8), nonzero for a != b
+		pr := partialP(a, b)
+		qr := partialQ(a, b)
+		xorSlice(pr, s.Shards[pIdx])
+		xorSlice(qr, s.Shards[qIdx])
+		// D_a = (qr + g^b·pr) / (g^a + g^b); solveTwoLoss fuses the two
+		// table multiplies into one word-wide pass.
 		dA := make([]byte, shardLen)
 		dB := make([]byte, shardLen)
-		for i := range pr {
-			// D_a = (qr + g^b·pr) / (g^a + g^b)
-			dA[i] = gfDiv(qr[i]^gfMul(gb, pr[i]), denom)
-			dB[i] = pr[i] ^ dA[i]
-		}
+		solveTwoLoss(pr, qr, dA, dB, a, b)
 		s.Shards[a] = dA
 		s.Shards[b] = dB
 	}

@@ -328,3 +328,13 @@ func (c *Client) ProviderHealth() ([]core.ProviderHealth, error) {
 	}
 	return out.Providers, nil
 }
+
+// CacheHealth fetches the distributor's chunk-cache counters; a zero
+// Capacity means caching is disabled.
+func (c *Client) CacheHealth() (core.CacheStats, error) {
+	var out healthDTO
+	if err := c.getJSON("/v1/health", &out); err != nil {
+		return core.CacheStats{}, err
+	}
+	return out.Cache, nil
+}

@@ -321,11 +321,13 @@ func (s *DistributorServer) metrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.d.Metrics())
 }
 
-// healthDTO is the GET /v1/health body: overall status plus the
-// per-provider circuit-breaker view.
+// healthDTO is the GET /v1/health body: overall status, the
+// per-provider circuit-breaker view, and the chunk-cache counters
+// (hits/misses/evictions/bytes; capacity 0 means caching is disabled).
 type healthDTO struct {
 	Status    string                `json:"status"`
 	Providers []core.ProviderHealth `json:"providers"`
+	Cache     core.CacheStats       `json:"cache"`
 }
 
 func (s *DistributorServer) health(w http.ResponseWriter, _ *http.Request) {
@@ -337,5 +339,5 @@ func (s *DistributorServer) health(w http.ResponseWriter, _ *http.Request) {
 			break
 		}
 	}
-	writeJSON(w, healthDTO{Status: status, Providers: provs})
+	writeJSON(w, healthDTO{Status: status, Providers: provs, Cache: s.d.CacheHealth()})
 }
