@@ -7,7 +7,7 @@
 
 GO        ?= go
 FUZZTIME  ?= 5s
-BENCHOUT  ?= BENCH_3.json
+BENCHOUT  ?= BENCH_4.json
 BENCHTIME ?= 1s
 
 .PHONY: check build vet test race fuzz fmt bench bench-smoke

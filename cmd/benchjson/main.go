@@ -2,10 +2,12 @@
 // report. It reads the benchmark text from stdin, aggregates repeated
 // runs (-count N) by taking the fastest repetition — the least-noise
 // estimate on a shared machine — and emits per-benchmark numbers plus
-// two derived sections:
+// three derived sections:
 //
 //   - kernel_speedups: word-wide kernel vs the scalar reference compiled
-//     into the same binary (the scalar/word sub-benchmark pairs), and
+//     into the same binary (the scalar/word sub-benchmark pairs),
+//   - tail_speedups: hedged vs unhedged slow-provider reads from the
+//     same binary (the tail-read acceptance ratio), and
 //   - baseline_speedups: current numbers vs the recorded
 //     pre-optimization baselines of the data-plane fast-path work.
 //
@@ -63,10 +65,18 @@ var kernelPairs = map[string]string{
 	"BenchmarkReconstructKernel/raid6/2data/word/64KiB": "BenchmarkReconstructKernel/raid6/2data/scalar/64KiB",
 }
 
+// tailPairs maps a hedged tail-read benchmark to its unhedged reference
+// from the same binary; the ratio is the slow-provider read speedup the
+// hedging acceptance criterion (>= 2x) is measured on.
+var tailPairs = map[string]string{
+	"BenchmarkGetFileTail/hedged/256KiB": "BenchmarkGetFileTail/unhedged/256KiB",
+}
+
 // report is the emitted JSON document.
 type report struct {
 	Results          map[string]result   `json:"results"`
 	KernelSpeedups   map[string]float64  `json:"kernel_speedups"`
+	TailSpeedups     map[string]float64  `json:"tail_speedups"`
 	BaselineSpeedups map[string]float64  `json:"baseline_speedups"`
 	Baselines        map[string]baseline `json:"baselines"`
 }
@@ -118,6 +128,7 @@ func main() {
 	rep := report{
 		Results:          results,
 		KernelSpeedups:   make(map[string]float64),
+		TailSpeedups:     make(map[string]float64),
 		BaselineSpeedups: make(map[string]float64),
 		Baselines:        baselines,
 	}
@@ -126,6 +137,13 @@ func main() {
 		s, okS := results[scalar]
 		if okW && okS && w.NsOp > 0 {
 			rep.KernelSpeedups[word] = round2(s.NsOp / w.NsOp)
+		}
+	}
+	for hedged, unhedged := range tailPairs {
+		h, okH := results[hedged]
+		u, okU := results[unhedged]
+		if okH && okU && h.NsOp > 0 {
+			rep.TailSpeedups[hedged] = round2(u.NsOp / h.NsOp)
 		}
 	}
 	for name, base := range baselines {
@@ -158,6 +176,9 @@ func main() {
 	fmt.Printf("benchjson: %d benchmarks -> %s\n", len(results), *out)
 	for n, x := range rep.KernelSpeedups {
 		fmt.Printf("  kernel  %-55s %.2fx vs scalar\n", shortName(n), x)
+	}
+	for n, x := range rep.TailSpeedups {
+		fmt.Printf("  tail    %-55s %.2fx vs unhedged\n", shortName(n), x)
 	}
 	for n, x := range rep.BaselineSpeedups {
 		fmt.Printf("  vs-seed %-55s %.2fx\n", shortName(n), x)

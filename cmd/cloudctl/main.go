@@ -217,15 +217,17 @@ func run(c *transport.Client, cmd string, args []string, pl int, raid6 bool, mis
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-12s %-9s %10s %10s %8s %6s %8s\n",
-			"PROVIDER", "STATE", "SUCCESSES", "FAILURES", "CONSEC", "OPENS", "WINDOW")
+		fmt.Printf("%-12s %-9s %10s %10s %8s %6s %8s %9s\n",
+			"PROVIDER", "STATE", "SUCCESSES", "FAILURES", "CONSEC", "OPENS", "WINDOW", "EWMA(ms)")
 		for _, p := range provs {
-			fmt.Printf("%-12s %-9s %10d %10d %8d %6d %7.0f%%\n",
+			fmt.Printf("%-12s %-9s %10d %10d %8d %6d %7.0f%% %9.2f\n",
 				p.Provider, p.State, p.Successes, p.Failures,
-				p.ConsecutiveFailures, p.Opens, 100*p.WindowFailureRatio)
+				p.ConsecutiveFailures, p.Opens, 100*p.WindowFailureRatio, p.LatencyEWMAMs)
 		}
 		fmt.Printf("\nfailovers=%d rollback-deletes=%d circuit-opens=%d probe-successes=%d\n",
 			m.WriteFailovers, m.RollbackDeletes, m.CircuitOpens, m.ProbeSuccesses)
+		fmt.Printf("hedged-reads=%d hedge-wins=%d coalesced-reads=%d\n",
+			m.HedgedReads, m.HedgeWins, m.CoalescedReads)
 		return nil
 	default:
 		usage()

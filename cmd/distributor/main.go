@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/privacy"
@@ -31,6 +32,7 @@ func main() {
 		raid6     = flag.Bool("raid6", false, "default to RAID-6 instead of RAID-5")
 		secret    = flag.String("secret", "cloud-data-distributor", "virtual-id PRF secret")
 		cacheB    = flag.Int64("cache-bytes", 0, "read-side chunk cache bound in bytes (0 disables)")
+		hedge     = flag.Duration("hedge-after", 50*time.Millisecond, "max wait before hedging a read to the next replica/parity rung (0 disables)")
 	)
 	flag.Parse()
 
@@ -48,6 +50,7 @@ func main() {
 		StripeWidth: *width,
 		Secret:      []byte(*secret),
 		CacheBytes:  *cacheB,
+		HedgeAfter:  *hedge,
 	})
 	if err != nil {
 		log.Fatalf("distributor: %v", err)

@@ -133,6 +133,86 @@ func BenchmarkGetChunk(b *testing.B) {
 	}
 }
 
+// benchTailDistributor builds a distributor over 8 providers that all
+// carry a 20ms LatencyModel, but whose injected Sleep only really blocks
+// on the one provider `slow` points at — armed after upload, aimed at
+// chunk 0's primary. The slow provider stays healthy and answers
+// correctly; it is just late, the regime hedged reads exist for. Every
+// chunk carries one mirror replica so a hedge has somewhere to go.
+func benchTailDistributor(b *testing.B, hedgeAfter time.Duration) (*Distributor, []byte) {
+	b.Helper()
+	const perOp = 20 * time.Millisecond
+	slow := &atomic.Int64{}
+	slow.Store(-1)
+	f, err := provider.NewFleet()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		i := i
+		mem, err := provider.New(provider.Info{
+			Name: fmt.Sprintf("T%d", i), PL: privacy.High, CL: 1,
+		}, provider.Options{
+			Latency: provider.LatencyModel{PerOp: perOp},
+			Sleep: func(d time.Duration) {
+				if int64(i) == slow.Load() {
+					time.Sleep(d)
+				}
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Add(mem); err != nil {
+			b.Fatal(err)
+		}
+	}
+	d, err := New(Config{Fleet: f, Parallelism: 4, HedgeAfter: hedgeAfter})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.RegisterClient("alice"); err != nil {
+		b.Fatal(err)
+	}
+	if err := d.AddPassword("alice", "root", privacy.High); err != nil {
+		b.Fatal(err)
+	}
+	data := payload(256<<10, 21)
+	if _, err := d.Upload("alice", "root", "bench.bin", data, privacy.Moderate, UploadOptions{Replicas: 1}); err != nil {
+		b.Fatal(err)
+	}
+	slow.Store(int64(d.chunks[d.clients["alice"].Files["bench.bin"].ChunkIdx[0]].CPIndex))
+	return d, data
+}
+
+// BenchmarkGetFileTail measures whole-file reads with one slow (but
+// healthy and correct) provider on the read path. unhedged waits out the
+// full 20ms stall on every read; hedged races a mirror after at most
+// -hedge-after (4ms here) and should land near that bound — the ratio is
+// the tail-read acceptance metric (>= 2x).
+func BenchmarkGetFileTail(b *testing.B) {
+	for _, cfg := range []struct {
+		name       string
+		hedgeAfter time.Duration
+	}{{"unhedged", 0}, {"hedged", 4 * time.Millisecond}} {
+		b.Run(cfg.name+"/256KiB", func(b *testing.B) {
+			d, want := benchTailDistributor(b, cfg.hedgeAfter)
+			b.SetBytes(int64(len(want)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := d.GetFile("alice", "root", "bench.bin")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(got) != len(want) {
+					b.Fatalf("got %d bytes, want %d", len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkConcurrentUploads measures upload throughput as client
 // concurrency grows. With provider I/O outside d.mu the ns/op figure
 // should drop markedly from workers=1 to workers=4 and 8; under the old

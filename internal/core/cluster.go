@@ -24,8 +24,8 @@ type metadataSnapshot struct {
 // always reflects a consistent committed state: no half-shipped upload's
 // rows, pending provider counts or reservations ever leak into it.
 func (d *Distributor) ExportMetadata() ([]byte, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	snap := metadataSnapshot{
 		Clients:   d.clients,
 		Chunks:    d.chunks,

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/health"
 	"repro/internal/privacy"
@@ -42,6 +43,15 @@ type Config struct {
 	// 0 disables caching (every read goes to the providers); negative is
 	// rejected.
 	CacheBytes int64
+	// HedgeAfter enables hedged reads and caps the hedge delay: when a
+	// payload fetch has been in flight this long without an answer, the
+	// next rung of the read ladder (mirror, then degraded parity
+	// reconstruction) is raced against it instead of waiting for the
+	// first to exhaust its retries. The per-rung delay is derived from
+	// the launched provider's latency EWMA, clamped to
+	// [HedgeAfter/8, HedgeAfter]. 0 disables hedging (the ladder stays
+	// strictly sequential); negative is rejected.
+	HedgeAfter time.Duration
 	// Health tunes the per-provider circuit breakers. The zero value
 	// selects the health package defaults.
 	Health health.Config
@@ -50,7 +60,13 @@ type Config struct {
 // Distributor is the Cloud Data Distributor. All methods are safe for
 // concurrent use.
 type Distributor struct {
-	mu sync.Mutex
+	// mu is read-mostly: retrievals and table snapshots plan under RLock
+	// (planning only reads the committed tables — per-request counters
+	// are atomics, the cache and the single-flight group carry their own
+	// mutexes), while every mutation and ticket commit/release takes the
+	// exclusive lock. No provider I/O ever happens under mu in either
+	// mode.
+	mu sync.RWMutex
 
 	fleet       *provider.Fleet
 	policy      privacy.ChunkSizePolicy
@@ -58,6 +74,7 @@ type Distributor struct {
 	stripeWidth int
 	vids        VIDAllocator
 	parallelism int
+	hedgeAfter  time.Duration
 	misleadRNG  *rand.Rand
 	health      *health.Tracker
 
@@ -84,6 +101,12 @@ type Distributor struct {
 	// generation); nil when Config.CacheBytes is 0. Lock order: d.mu may
 	// be held while taking cache.mu, never the reverse.
 	cache *chunkCache
+
+	// flights coalesces concurrent cache misses on the same chunk
+	// generation into one provider fetch. It is keyed by the same
+	// (fid, serial, gen) triple as the cache, so a coalesced waiter can
+	// never be handed bytes from a superseded generation.
+	flights flightGroup
 }
 
 // nextEncNonce returns a fresh AES-CTR nonce. Callers hold d.mu.
@@ -128,6 +151,9 @@ func New(cfg Config) (*Distributor, error) {
 	if cfg.CacheBytes < 0 {
 		return nil, fmt.Errorf("%w: cache bytes %d", ErrConfig, cfg.CacheBytes)
 	}
+	if cfg.HedgeAfter < 0 {
+		return nil, fmt.Errorf("%w: hedge after %v", ErrConfig, cfg.HedgeAfter)
+	}
 	vids := cfg.VIDs
 	if vids == nil {
 		secret := cfg.Secret
@@ -143,6 +169,7 @@ func New(cfg Config) (*Distributor, error) {
 		stripeWidth: width,
 		vids:        vids,
 		parallelism: par,
+		hedgeAfter:  cfg.HedgeAfter,
 		misleadRNG:  rand.New(rand.NewSource(cfg.MisleadSeed + 1)),
 		health:      health.NewTracker(cfg.Fleet.Len(), cfg.Health),
 		clients:     make(map[string]*clientEntry),
@@ -258,14 +285,21 @@ func (d *Distributor) withTransientRetry(fn func() error) error {
 // providerOp runs fn against fleet provider provIdx with transient
 // retries, feeding the final outcome into the health tracker. A
 // not-found reply counts as a success: the provider answered
-// authoritatively, it just has no such key.
+// authoritatively, it just has no such key. Successful operations also
+// feed the provider's latency EWMA, which the hedged read path uses to
+// decide how long to wait before racing the next rung.
 func (d *Distributor) providerOp(provIdx int, fn func(p provider.Provider) error) error {
 	p, err := d.fleet.At(provIdx)
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	err = d.withTransientRetry(func() error { return fn(p) })
-	d.health.Record(provIdx, err == nil || errors.Is(err, provider.ErrNotFound))
+	ok := err == nil || errors.Is(err, provider.ErrNotFound)
+	d.health.Record(provIdx, ok)
+	if ok {
+		d.health.RecordLatency(provIdx, time.Since(start))
+	}
 	return err
 }
 

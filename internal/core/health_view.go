@@ -1,5 +1,7 @@
 package core
 
+import "time"
+
 // ProviderHealth is one provider's externally visible health snapshot,
 // JSON-ready for the distributor's health endpoint and CLI.
 type ProviderHealth struct {
@@ -11,6 +13,10 @@ type ProviderHealth struct {
 	Opens               int64   `json:"opens"`
 	WindowFailureRatio  float64 `json:"window_failure_ratio"`
 	WindowSamples       int     `json:"window_samples"`
+	// LatencyEWMAMs is the smoothed successful-operation latency in
+	// milliseconds — the signal hedged reads derive their delay from.
+	// 0 until the provider has served at least one operation.
+	LatencyEWMAMs float64 `json:"latency_ewma_ms"`
 }
 
 // Health reports every provider's circuit-breaker state and accumulated
@@ -38,6 +44,7 @@ func (d *Distributor) Health() []ProviderHealth {
 			Opens:               s.Opens,
 			WindowFailureRatio:  ratio,
 			WindowSamples:       s.WindowSamples,
+			LatencyEWMAMs:       float64(s.LatencyEWMA) / float64(time.Millisecond),
 		}
 	}
 	return out

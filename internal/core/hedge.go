@@ -1,0 +1,220 @@
+package core
+
+import (
+	"errors"
+	"time"
+)
+
+// rungKind names the three sources a chunk payload can come from, in
+// ladder order.
+type rungKind int
+
+const (
+	rungPrimary rungKind = iota
+	rungMirror
+	rungReconstruct
+)
+
+// errRungFailed is the internal marker for a primary or mirror fetch
+// that missed (wrong length, exhausted retries, outage). It never
+// reaches callers: when every rung fails, the reconstruction rung's
+// descriptive ErrUnavailable is returned instead.
+var errRungFailed = errors.New("core: read rung failed")
+
+// readRung is one source in the payload read ladder: where the bytes
+// live and how to fetch them. fetch takes no locks and is safe to run
+// concurrently with the other rungs of the same plan.
+type readRung struct {
+	kind    rungKind
+	provIdx int // provider racing this rung; -1 for reconstruction
+	fetch   func() ([]byte, error)
+}
+
+// readRungs builds the ladder for a plan: primary, then each mirror,
+// then degraded RAID reconstruction. The reconstruction rung is always
+// present — without parity it fails immediately with the descriptive
+// error the ladder reports when everything else missed too.
+func (d *Distributor) readRungs(plan *fetchPlan) []readRung {
+	entry := &plan.entry
+	rungs := make([]readRung, 0, len(entry.Mirrors)+2)
+	rungs = append(rungs, readRung{kind: rungPrimary, provIdx: entry.CPIndex, fetch: func() ([]byte, error) {
+		if payload, ok := d.tryGet(entry.CPIndex, entry.VirtualID, entry.PayloadLen); ok {
+			return payload, nil
+		}
+		return nil, errRungFailed
+	}})
+	for _, m := range entry.Mirrors {
+		m := m
+		rungs = append(rungs, readRung{kind: rungMirror, provIdx: m.CPIndex, fetch: func() ([]byte, error) {
+			if payload, ok := d.tryGet(m.CPIndex, m.VirtualID, entry.PayloadLen); ok {
+				return payload, nil
+			}
+			return nil, errRungFailed
+		}})
+	}
+	rungs = append(rungs, readRung{kind: rungReconstruct, provIdx: -1, fetch: func() ([]byte, error) {
+		return d.reconstructPlan(plan)
+	}})
+	return rungs
+}
+
+// recordRungWin attributes a served payload to its source, preserving
+// the primary/mirror/reconstruction counters of the sequential ladder.
+func (d *Distributor) recordRungWin(kind rungKind) {
+	switch kind {
+	case rungPrimary:
+		d.counters.primaryHits.Add(1)
+	case rungMirror:
+		d.counters.mirrorHits.Add(1)
+	case rungReconstruct:
+		d.counters.reconstructions.Add(1)
+	}
+}
+
+// fetchSequential walks the ladder one rung at a time — the read path
+// when hedging is disabled. The reconstruction rung runs last, so on
+// total failure its error (the most descriptive) is what callers see.
+func (d *Distributor) fetchSequential(rungs []readRung) ([]byte, error) {
+	var lastErr error
+	for i := range rungs {
+		payload, err := rungs[i].fetch()
+		if err == nil {
+			d.recordRungWin(rungs[i].kind)
+			return payload, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// hedgeDelay returns how long to let a just-launched rung on provIdx run
+// before racing the next rung against it: twice the provider's latency
+// EWMA — comfortably above a typical response, so a healthy provider is
+// almost never hedged — clamped to [hedgeAfter/8, hedgeAfter] so a
+// freshly started distributor (no samples, EWMA 0) or a pathological
+// average can neither hedge instantly nor never.
+func (d *Distributor) hedgeDelay(provIdx int) time.Duration {
+	base := d.hedgeAfter
+	if provIdx < 0 {
+		return base
+	}
+	ewma := d.health.LatencyEWMA(provIdx)
+	if ewma <= 0 {
+		return base
+	}
+	delay := 2 * ewma
+	if floor := base / 8; delay < floor {
+		delay = floor
+	}
+	if delay > base {
+		delay = base
+	}
+	return delay
+}
+
+// fetchHedged races the ladder: rung 0 launches immediately, and each
+// further rung launches either when its predecessor's hedge delay
+// expires (the predecessor is slow but may still answer) or the moment
+// every launched rung has failed (nothing left to wait for). The first
+// successful payload wins; later arrivals are discarded. Losing rungs
+// are not cancelled — the provider interface has no context plumbing —
+// they run to completion in the background and their genuine outcomes
+// feed the health tracker exactly as if they had run alone, so losing a
+// race never looks like a provider failure.
+func (d *Distributor) fetchHedged(rungs []readRung) ([]byte, error) {
+	type rungResult struct {
+		idx     int
+		payload []byte
+		err     error
+	}
+	// Buffered to len(rungs): a loser finishing after the winner returns
+	// must never block on its send, or its goroutine would leak.
+	results := make(chan rungResult, len(rungs))
+	byHedge := make([]bool, len(rungs))
+	launched := 0
+	launch := func() {
+		r := rungs[launched]
+		idx := launched
+		launched++
+		go func() {
+			payload, err := r.fetch()
+			results <- rungResult{idx: idx, payload: payload, err: err}
+		}()
+	}
+
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	// arm schedules the next hedge relative to the rung just launched. A
+	// fresh timer per launch sidesteps the Reset/drain races of reusing
+	// one; the ladder is at most a handful of rungs deep.
+	arm := func() {
+		if timer != nil {
+			timer.Stop()
+		}
+		timer, timerC = nil, nil
+		if launched < len(rungs) {
+			timer = time.NewTimer(d.hedgeDelay(rungs[launched-1].provIdx))
+			timerC = timer.C
+		}
+	}
+	launch()
+	arm()
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+
+	hedged := false
+	var reconErr error
+	for done := 0; ; {
+		select {
+		case <-timerC:
+			if !hedged {
+				hedged = true
+				d.counters.hedgedReads.Add(1)
+			}
+			byHedge[launched] = true
+			launch()
+			arm()
+		case res := <-results:
+			if res.err == nil {
+				if byHedge[res.idx] {
+					d.counters.hedgeWins.Add(1)
+				}
+				d.recordRungWin(rungs[res.idx].kind)
+				return res.payload, nil
+			}
+			if rungs[res.idx].kind == rungReconstruct {
+				reconErr = res.err
+			}
+			done++
+			if done == len(rungs) {
+				// Every rung failed; reconstruction always ran, so its
+				// descriptive error is available.
+				return nil, reconErr
+			}
+			if done == launched {
+				// Nothing left in flight: escalate immediately rather
+				// than waiting out a hedge delay that has no one to
+				// hedge against.
+				launch()
+				arm()
+			}
+		}
+	}
+}
+
+// fetchPayloadPlan returns the stored payload (post-mislead bytes). The
+// fallback ladder is: primary provider → mirror replicas → RAID
+// reconstruction from the stripe. With hedging enabled
+// (Config.HedgeAfter > 0) the rungs are raced after per-provider
+// EWMA-derived delays; otherwise they run strictly in order. It takes no
+// locks.
+func (d *Distributor) fetchPayloadPlan(plan *fetchPlan) ([]byte, error) {
+	rungs := d.readRungs(plan)
+	if d.hedgeAfter <= 0 {
+		return d.fetchSequential(rungs)
+	}
+	return d.fetchHedged(rungs)
+}

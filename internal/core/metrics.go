@@ -20,6 +20,9 @@ type OpMetrics struct {
 	RollbackDeletes  int64 // best-effort deletes issued unwinding a failed write
 	CircuitOpens     int64 // provider circuit-breaker open events
 	ProbeSuccesses   int64 // half-open probes that closed a circuit
+	HedgedReads      int64 // payload reads where a hedge rung was launched
+	HedgeWins        int64 // reads won by a hedge-launched rung
+	CoalescedReads   int64 // reads served by another reader's in-flight fetch
 	// Cache reports the read-side chunk cache; all-zero when caching is
 	// disabled (Config.CacheBytes == 0).
 	Cache CacheStats
@@ -30,6 +33,7 @@ type opCounters struct {
 	uploads, fileReads, chunkReads, rangeReads, updates, removes atomic.Int64
 	primaryHits, mirrorHits, reconstructions, transientRetries   atomic.Int64
 	writeFailovers, rollbackDeletes                              atomic.Int64
+	hedgedReads, hedgeWins                                       atomic.Int64
 }
 
 // Metrics returns a snapshot of the distributor's operation counters.
@@ -50,6 +54,9 @@ func (d *Distributor) Metrics() OpMetrics {
 		RollbackDeletes:  d.counters.rollbackDeletes.Load(),
 		CircuitOpens:     opens,
 		ProbeSuccesses:   probes,
+		HedgedReads:      d.counters.hedgedReads.Load(),
+		HedgeWins:        d.counters.hedgeWins.Load(),
+		CoalescedReads:   d.flights.coalesced.Load(),
 		Cache:            d.cache.stats(),
 	}
 }

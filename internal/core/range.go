@@ -18,24 +18,24 @@ func (d *Distributor) GetRange(client, password, filename string, offset, length
 	if offset < 0 || length < 0 {
 		return nil, fmt.Errorf("%w: range [%d, %d)", ErrConfig, offset, offset+length)
 	}
-	d.mu.Lock()
+	d.mu.RLock()
 	c, _, err := d.auth(client, password)
 	if err != nil {
-		d.mu.Unlock()
+		d.mu.RUnlock()
 		return nil, err
 	}
 	fe, ok := c.Files[filename]
 	if !ok {
-		d.mu.Unlock()
+		d.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchFile, filename)
 	}
 	if _, err := d.authorize(client, password, fe.PL); err != nil {
-		d.mu.Unlock()
+		d.mu.RUnlock()
 		return nil, err
 	}
 	d.counters.rangeReads.Add(1)
 	if length == 0 {
-		d.mu.Unlock()
+		d.mu.RUnlock()
 		return []byte{}, nil
 	}
 
@@ -52,7 +52,7 @@ func (d *Distributor) GetRange(client, password, filename string, offset, length
 	cum := 0
 	for serial, idx := range fe.ChunkIdx {
 		if idx < 0 {
-			d.mu.Unlock()
+			d.mu.RUnlock()
 			return nil, fmt.Errorf("%w: serial %d was removed", ErrNoSuchChunk, serial)
 		}
 		entry := &d.chunks[idx]
@@ -62,10 +62,10 @@ func (d *Distributor) GetRange(client, password, filename string, offset, length
 		cum += entry.DataLen
 	}
 	if offset+length > cum {
-		d.mu.Unlock()
+		d.mu.RUnlock()
 		return nil, fmt.Errorf("%w: [%d, %d) beyond file of %d bytes", ErrRange, offset, offset+length, cum)
 	}
-	d.mu.Unlock()
+	d.mu.RUnlock()
 
 	// Fan the span fetches out; each result lands in its own slot so the
 	// assembly below sees them in file order.
@@ -124,7 +124,7 @@ type ScrubReport struct {
 // re-checked: a chunk mutated since the scan belongs to a newer write,
 // and repairing its old blobs would only resurrect retired data.
 func (d *Distributor) Scrub() (ScrubReport, error) {
-	d.mu.Lock()
+	d.mu.RLock()
 	type item struct {
 		plan fetchPlan
 		fe   *fileEntry
@@ -139,7 +139,7 @@ func (d *Distributor) Scrub() (ScrubReport, error) {
 		fe := d.clients[entry.Client].Files[entry.Filename]
 		items = append(items, item{plan: d.planFetch(entry), fe: fe, gen: fe.Gen})
 	}
-	d.mu.Unlock()
+	d.mu.RUnlock()
 
 	var rep ScrubReport
 	for k := range items {
@@ -175,10 +175,10 @@ func (d *Distributor) Scrub() (ScrubReport, error) {
 			continue
 		}
 
-		d.mu.Lock()
+		d.mu.RLock()
 		feNow, ok := d.clients[entry.Client].Files[entry.Filename]
 		changed := !ok || feNow != it.fe || feNow.Gen != it.gen
-		d.mu.Unlock()
+		d.mu.RUnlock()
 		if changed {
 			rep.Skipped++
 			continue

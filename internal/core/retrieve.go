@@ -16,26 +16,32 @@ import (
 // sl no.). If the chunk's provider is unreachable the distributor
 // transparently reconstructs the chunk from the stripe's surviving shards.
 func (d *Distributor) GetChunk(client, password, filename string, serial int) ([]byte, error) {
-	d.mu.Lock()
+	d.mu.RLock()
 	entry, err := d.lookupChunk(client, password, filename, serial)
 	if err != nil {
-		d.mu.Unlock()
+		d.mu.RUnlock()
 		return nil, err
 	}
 	d.counters.chunkReads.Add(1)
 	fe := d.clients[client].Files[filename]
 	key := cacheKey{fid: fe.FID, serial: serial, gen: fe.Gen}
 	if data, ok := d.cache.get(key); ok {
-		d.mu.Unlock()
+		d.mu.RUnlock()
 		return data, nil
 	}
 	plan := d.planFetch(entry)
-	d.mu.Unlock()
+	d.mu.RUnlock()
 	// The provider round-trips happen outside d.mu so one slow or dark
-	// provider cannot stall every other client request.
-	data, err := d.fetchChunkPlan(&plan)
+	// provider cannot stall every other client request; concurrent misses
+	// on the same chunk generation coalesce into one fetch.
+	data, shared, err := d.flights.do(key, func() ([]byte, error) {
+		return d.fetchChunkPlan(&plan)
+	})
 	if err != nil {
 		return nil, err
+	}
+	if shared {
+		return data, nil
 	}
 	// A reader that raced a commit inserts under the generation it planned
 	// against; if that generation is already superseded the entry is
@@ -49,26 +55,26 @@ func (d *Distributor) GetChunk(client, password, filename string, serial int) ([
 // ("This approach exploits the benefit of parallel query processing as
 // various fragments can be accessed simultaneously").
 func (d *Distributor) GetFile(client, password, filename string) ([]byte, error) {
-	d.mu.Lock()
+	d.mu.RLock()
 	c, _, err := d.auth(client, password)
 	if err != nil {
-		d.mu.Unlock()
+		d.mu.RUnlock()
 		return nil, err
 	}
 	fe, ok := c.Files[filename]
 	if !ok {
-		d.mu.Unlock()
+		d.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchFile, filename)
 	}
 	if _, err := d.authorize(client, password, fe.PL); err != nil {
-		d.mu.Unlock()
+		d.mu.RUnlock()
 		return nil, err
 	}
-	// Snapshot every chunk's fetch plan under the lock, then do all the
-	// provider I/O outside it. Chunks resident in the cache skip planning
-	// entirely: their recovered bytes are copied out here (the cache is
-	// generation-keyed, so fe.Gen under this lock pins a consistent view)
-	// and the fan-out below only places them.
+	// Snapshot every chunk's fetch plan under the read lock, then do all
+	// the provider I/O outside it. Chunks resident in the cache skip
+	// planning entirely: their recovered bytes are copied out here (the
+	// cache is generation-keyed, so fe.Gen under this lock pins a
+	// consistent view) and the fan-out below only places them.
 	fid, fileGen := fe.FID, fe.Gen
 	plans := make([]fetchPlan, len(fe.ChunkIdx))
 	var cached [][]byte
@@ -77,7 +83,7 @@ func (d *Distributor) GetFile(client, password, filename string) ([]byte, error)
 	}
 	for serial, idx := range fe.ChunkIdx {
 		if idx < 0 {
-			d.mu.Unlock()
+			d.mu.RUnlock()
 			return nil, fmt.Errorf("%w: serial %d was removed", ErrNoSuchChunk, serial)
 		}
 		if cached != nil {
@@ -88,7 +94,7 @@ func (d *Distributor) GetFile(client, password, filename string) ([]byte, error)
 		}
 		plans[serial] = d.planFetch(&d.chunks[idx])
 	}
-	d.mu.Unlock()
+	d.mu.RUnlock()
 
 	// The whole file is assembled into one buffer sized from the chunk
 	// entries' data lengths; each fetch job recovers its chunk directly
@@ -110,14 +116,28 @@ func (d *Distributor) GetFile(client, password, filename string) ([]byte, error)
 			return nil
 		}
 		plan := &plans[serial]
-		payload, err := d.fetchPayloadPlan(plan)
+		key := cacheKey{fid: fid, serial: serial, gen: fileGen}
+		// The leader recovers straight into its segment of the shared
+		// buffer — the allocation-free path — and only materializes a
+		// copy if another reader actually coalesced onto this fetch.
+		data, sharedRes, err := d.flights.do(key, func() ([]byte, error) {
+			payload, err := d.fetchPayloadPlan(plan)
+			if err != nil {
+				return nil, err
+			}
+			if err := stripAndVerifyInto(&plan.entry, payload, seg); err != nil {
+				return nil, err
+			}
+			out := buf[offs[serial]:offs[serial+1]]
+			d.cache.put(key, out)
+			return out, nil
+		})
 		if err != nil {
 			return err
 		}
-		if err := stripAndVerifyInto(&plan.entry, payload, seg); err != nil {
-			return err
+		if sharedRes {
+			copy(seg[:cap(seg)], data)
 		}
-		d.cache.put(cacheKey{fid: fid, serial: serial, gen: fileGen}, buf[offs[serial]:offs[serial+1]])
 		return nil
 	})
 	if err != nil {
@@ -130,8 +150,8 @@ func (d *Distributor) GetFile(client, password, filename string) ([]byte, error)
 // ChunkCount reports how many chunks a file has (what the distributor
 // "notifies" the client of).
 func (d *Distributor) ChunkCount(client, password, filename string) (int, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	c, _, err := d.auth(client, password)
 	if err != nil {
 		return 0, err
@@ -145,7 +165,7 @@ func (d *Distributor) ChunkCount(client, password, filename string) (int, error)
 
 // lookupChunk authenticates and resolves (client, filename, serial) to a
 // chunk entry, enforcing password privilege against the chunk's privacy
-// level. Callers hold d.mu.
+// level. Callers hold d.mu (read or write mode — the lookup only reads).
 func (d *Distributor) lookupChunk(client, password, filename string, serial int) (*chunkEntry, error) {
 	c, _, err := d.auth(client, password)
 	if err != nil {
@@ -190,7 +210,9 @@ type shardRef struct {
 	payloadLen int
 }
 
-// planFetch snapshots entry and its stripe. Callers hold d.mu.
+// planFetch snapshots entry and its stripe — a pure read, so RLock-held
+// callers (the retrieval paths) and exclusive-lock callers (scrub,
+// migration) both qualify. Callers hold d.mu in either mode.
 func (d *Distributor) planFetch(entry *chunkEntry) fetchPlan {
 	plan := fetchPlan{entry: *entry, targetSlot: -1}
 	plan.entry.Mirrors = append([]mirrorRef(nil), entry.Mirrors...)
@@ -279,28 +301,6 @@ func stripAndVerifyInto(entry *chunkEntry, payload, dst []byte) error {
 		return fmt.Errorf("%w: checksum mismatch for %s/%s#%d", ErrUnavailable, entry.Client, entry.Filename, entry.Serial)
 	}
 	return nil
-}
-
-// fetchPayloadPlan returns the stored payload (post-mislead bytes). The
-// fallback ladder is: primary provider → mirror replicas → RAID
-// reconstruction from the stripe. It takes no locks.
-func (d *Distributor) fetchPayloadPlan(plan *fetchPlan) ([]byte, error) {
-	entry := &plan.entry
-	if payload, ok := d.tryGet(entry.CPIndex, entry.VirtualID, entry.PayloadLen); ok {
-		d.counters.primaryHits.Add(1)
-		return payload, nil
-	}
-	for _, m := range entry.Mirrors {
-		if payload, ok := d.tryGet(m.CPIndex, m.VirtualID, entry.PayloadLen); ok {
-			d.counters.mirrorHits.Add(1)
-			return payload, nil
-		}
-	}
-	payload, err := d.reconstructPlan(plan)
-	if err == nil {
-		d.counters.reconstructions.Add(1)
-	}
-	return payload, err
 }
 
 // tryGet fetches one blob with transient-failure retry, feeding the

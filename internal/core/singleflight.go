@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flightCall is one in-flight chunk fetch other readers can wait on.
+type flightCall struct {
+	done    chan struct{}
+	data    []byte // set only when waiters joined; immutable after done closes
+	err     error
+	waiters int
+}
+
+// flightGroup coalesces concurrent fetches of the same chunk generation
+// (keyed by the cache's (fid, serial, gen) triple) into one provider
+// round-trip — a stdlib-only single-flight. The zero value is ready to
+// use. Unlike a cache it holds no bytes at rest: a call's shared copy
+// exists only while waiters are draining it, and a reader arriving after
+// the flight lands starts a fresh fetch (which the chunk cache then
+// absorbs).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[cacheKey]*flightCall
+
+	// coalesced counts reads served by another reader's in-flight fetch.
+	// It is incremented at join time (not completion) so tests and
+	// operators can observe fan-in while the leader is still fetching.
+	coalesced atomic.Int64
+}
+
+// do runs fn once per key among concurrent callers. The leader executes
+// fn and gets its result back untouched (shared == false); every caller
+// that joined while the leader was in flight gets the leader's error or
+// a private copy of its bytes (shared == true), so no two callers ever
+// alias the same slice. The leader only materializes the shared copy
+// when someone actually joined — the uncontended path costs one map
+// insert and delete.
+func (g *flightGroup) do(key cacheKey, fn func() ([]byte, error)) (data []byte, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		g.coalesced.Add(1)
+		g.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return nil, true, c.err
+		}
+		out := make([]byte, len(c.data))
+		copy(out, c.data)
+		return out, true, nil
+	}
+	if g.calls == nil {
+		g.calls = make(map[cacheKey]*flightCall)
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	data, err = fn()
+
+	g.mu.Lock()
+	if c.waiters > 0 && err == nil {
+		// Copy before publishing: the leader's slice may be a view into a
+		// caller-owned buffer (GetFile's single assembly buffer) that the
+		// caller is free to mutate the moment do returns.
+		c.data = append([]byte(nil), data...)
+	}
+	c.err = err
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return data, false, err
+}

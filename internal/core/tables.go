@@ -54,8 +54,8 @@ type ChunkRow struct {
 
 // ProviderTable snapshots Table I.
 func (d *Distributor) ProviderTable() []ProviderRow {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	rows := make([]ProviderRow, d.fleet.Len())
 	for i := range rows {
 		p, _ := d.fleet.At(i)
@@ -86,8 +86,8 @@ func (d *Distributor) ProviderTable() []ProviderRow {
 
 // ClientTable snapshots Table II.
 func (d *Distributor) ClientTable() []ClientRow {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	names := make([]string, 0, len(d.clients))
 	for n := range d.clients {
 		names = append(names, n)
@@ -129,8 +129,8 @@ func (d *Distributor) ClientTable() []ClientRow {
 
 // ChunkTable snapshots Table III.
 func (d *Distributor) ChunkTable() []ChunkRow {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	rows := make([]ChunkRow, 0, len(d.chunks))
 	for _, c := range d.chunks {
 		if c.CPIndex < 0 {
@@ -231,8 +231,8 @@ type Stats struct {
 
 // Stats returns a snapshot of placement statistics.
 func (d *Distributor) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	s := Stats{Clients: len(d.clients), PerProvider: append([]int(nil), d.provCount...)}
 	for _, c := range d.clients {
 		s.Files += len(c.Files)

@@ -340,18 +340,18 @@ func (d *Distributor) UpdateChunk(client, password, filename string, serial int,
 // chunks that had no injection at snapshot time — the distributor rejects
 // the request otherwise.
 func (d *Distributor) GetSnapshot(client, password, filename string, serial int) ([]byte, error) {
-	d.mu.Lock()
+	d.mu.RLock()
 	entry, err := d.lookupChunk(client, password, filename, serial)
 	if err != nil {
-		d.mu.Unlock()
+		d.mu.RUnlock()
 		return nil, err
 	}
 	if entry.SnapVID == "" || entry.SPIndex < 0 {
-		d.mu.Unlock()
+		d.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %s#%d", ErrNoSnapshot, filename, serial)
 	}
 	spIdx, snapVID := entry.SPIndex, entry.SnapVID
-	d.mu.Unlock()
+	d.mu.RUnlock()
 	// Fetch outside the lock; the outcome still feeds health accounting.
 	var payload []byte
 	err = d.providerOp(spIdx, func(p provider.Provider) error {

@@ -102,6 +102,9 @@ type Status struct {
 	Opens               int64
 	WindowFailures      int
 	WindowSamples       int
+	// LatencyEWMA is the exponentially weighted moving average of the
+	// provider's successful-operation latency; 0 until the first sample.
+	LatencyEWMA time.Duration
 }
 
 // breaker is the per-provider state.
@@ -119,6 +122,10 @@ type breaker struct {
 	wHead  int
 	wCount int
 	wFails int
+
+	// ewmaNs is the latency EWMA in nanoseconds (float to avoid the
+	// truncation drift of repeated integer smoothing); 0 = no samples.
+	ewmaNs float64
 }
 
 // Tracker accounts success/failure per provider and runs one breaker
@@ -190,6 +197,45 @@ func (t *Tracker) Record(i int, ok bool) {
 			t.totalOpens++
 		}
 	}
+}
+
+// latencyAlpha is the EWMA smoothing factor: each new sample contributes
+// a quarter, so the average tracks a provider's drift within a handful of
+// operations without whipsawing on one outlier.
+const latencyAlpha = 0.25
+
+// RecordLatency feeds one successful operation's service time into
+// provider i's latency EWMA. Callers only report successes: a fast
+// failure (connection refused, circuit open) says nothing about how long
+// the provider takes to actually serve bytes, and letting it drag the
+// average down would make hedged reads fire later exactly when the
+// provider is struggling.
+func (t *Tracker) RecordLatency(i int, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.valid(i) {
+		return
+	}
+	b := &t.provs[i]
+	if b.ewmaNs == 0 {
+		b.ewmaNs = float64(d)
+		return
+	}
+	b.ewmaNs = (1-latencyAlpha)*b.ewmaNs + latencyAlpha*float64(d)
+}
+
+// LatencyEWMA returns provider i's smoothed successful-operation latency,
+// or 0 when no sample has been recorded yet.
+func (t *Tracker) LatencyEWMA(i int) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.valid(i) {
+		return 0
+	}
+	return time.Duration(t.provs[i].ewmaNs)
 }
 
 // push records one outcome in the sliding window.
@@ -288,6 +334,7 @@ func (t *Tracker) Snapshot() []Status {
 			Opens:               b.opens,
 			WindowFailures:      b.wFails,
 			WindowSamples:       b.wCount,
+			LatencyEWMA:         time.Duration(b.ewmaNs),
 		}
 	}
 	return out

@@ -250,3 +250,37 @@ func TestStateString(t *testing.T) {
 		t.Fatal("state strings wrong")
 	}
 }
+
+func TestLatencyEWMA(t *testing.T) {
+	tr := NewTracker(2, Config{})
+	if got := tr.LatencyEWMA(0); got != 0 {
+		t.Fatalf("EWMA before any sample = %v, want 0", got)
+	}
+	// First sample seeds the average directly.
+	tr.RecordLatency(0, 100*time.Millisecond)
+	if got := tr.LatencyEWMA(0); got != 100*time.Millisecond {
+		t.Fatalf("EWMA after seed = %v, want 100ms", got)
+	}
+	// Each further sample contributes a quarter: 0.75*100 + 0.25*200.
+	tr.RecordLatency(0, 200*time.Millisecond)
+	if got := tr.LatencyEWMA(0); got != 125*time.Millisecond {
+		t.Fatalf("EWMA after 200ms sample = %v, want 125ms", got)
+	}
+	// Non-positive samples and out-of-range indices are ignored.
+	tr.RecordLatency(0, 0)
+	tr.RecordLatency(0, -time.Second)
+	tr.RecordLatency(9, time.Second)
+	if got := tr.LatencyEWMA(0); got != 125*time.Millisecond {
+		t.Fatalf("EWMA after ignored samples = %v, want 125ms", got)
+	}
+	if got := tr.LatencyEWMA(1); got != 0 {
+		t.Fatalf("untouched provider EWMA = %v, want 0", got)
+	}
+	if got := tr.LatencyEWMA(9); got != 0 {
+		t.Fatalf("out-of-range EWMA = %v, want 0", got)
+	}
+	// The snapshot carries the same figure.
+	if got := tr.Snapshot()[0].LatencyEWMA; got != 125*time.Millisecond {
+		t.Fatalf("snapshot EWMA = %v, want 125ms", got)
+	}
+}

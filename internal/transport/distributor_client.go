@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -308,10 +309,26 @@ func (c *Client) Metrics() (core.OpMetrics, error) {
 
 // Health probes the distributor; a degraded status (any circuit not
 // closed) is still a healthy endpoint, so only transport failures and
-// an empty status are errors.
+// an empty status are errors. The probe carries its own short deadline
+// instead of the client's transfer-sized timeout: liveness polling must
+// answer quickly even when the distributor is wedged mid-transfer.
 func (c *Client) Health() error {
+	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/health", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("transport: /v1/health: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("transport: /v1/health: status %d", resp.StatusCode)
+	}
 	var out healthDTO
-	if err := c.getJSON("/v1/health", &out); err != nil {
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return err
 	}
 	if out.Status == "" {

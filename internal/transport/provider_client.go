@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,6 +13,17 @@ import (
 	"repro/internal/privacy"
 	"repro/internal/provider"
 )
+
+// probeTimeout caps one health probe round-trip. Probes share the blob
+// transfer http.Client, whose 10s timeout is sized for multi-megabyte
+// payloads; a liveness check that waits that long on a stalled provider
+// is itself the outage, so each probe carries its own short deadline.
+const probeTimeout = time.Second
+
+// maxBlobRead bounds how much of a chunk response body Get will accept.
+// It is a variable (normally maxBlobBytes) only so tests can lower it
+// without serving a 64 MiB body.
+var maxBlobRead int64 = maxBlobBytes
 
 // RemoteProvider is a provider.Provider backed by a ProviderServer over
 // HTTP, letting a distributor treat a networked provider exactly like an
@@ -99,8 +111,18 @@ func (rp *RemoteProvider) Get(key string) ([]byte, error) {
 		if resp.StatusCode != http.StatusOK {
 			return false, statusToProviderError(resp)
 		}
-		data, err = io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes))
-		return false, err
+		// Read one byte past the cap: a body that reaches it was truncated,
+		// and silently handing back a cut-off blob would surface later as
+		// an inexplicable length or checksum mismatch far from the cause.
+		data, err = io.ReadAll(io.LimitReader(resp.Body, maxBlobRead+1))
+		if err != nil {
+			return false, err
+		}
+		if int64(len(data)) > maxBlobRead {
+			data = nil
+			return false, fmt.Errorf("transport: blob %q exceeds %d-byte limit", key, maxBlobRead)
+		}
+		return false, nil
 	})
 	if err != nil {
 		return nil, err
@@ -124,9 +146,16 @@ func (rp *RemoteProvider) Delete(key string) error {
 	})
 }
 
-// Down probes the health endpoint; any failure counts as down.
+// Down probes the health endpoint; any failure — including the probe
+// deadline expiring against a stalled provider — counts as down.
 func (rp *RemoteProvider) Down() bool {
-	resp, err := rp.client.Get(rp.base + "/v1/health")
+	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rp.base+"/v1/health", nil)
+	if err != nil {
+		return true
+	}
+	resp, err := rp.client.Do(req)
 	if err != nil {
 		return true
 	}
@@ -184,8 +213,15 @@ func (rp *RemoteProvider) getJSON(path string, v any) error {
 	return json.NewDecoder(resp.Body).Decode(v)
 }
 
+// maxDrainBytes bounds how much of an unread response body drain will
+// consume. Keep-alive reuse requires reading the body to EOF, so the
+// bound must comfortably cover any error payload the servers emit; a
+// body still flowing past it is abandoned (Close then discards the
+// connection) rather than slurped without limit.
+const maxDrainBytes = 256 << 10
+
 func drain(resp *http.Response) {
-	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxDrainBytes))
 	resp.Body.Close()
 }
 
