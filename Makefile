@@ -4,13 +4,17 @@
 #   make test             plain test run
 #   make fuzz             short randomized fuzzing of the codec layers
 #   FUZZTIME=30s make fuzz  longer fuzz budget
+#   make simcheck         tier-2: deterministic fault-schedule simulation
+#   SIMCHECK_SEEDS=64 SIMCHECK_OPS=600 make simcheck  bigger sweep
 
 GO        ?= go
 FUZZTIME  ?= 5s
+SIMCHECK_SEEDS ?= 32
+SIMCHECK_OPS   ?= 0
 BENCHOUT  ?= BENCH_4.json
 BENCHTIME ?= 1s
 
-.PHONY: check build vet test race fuzz fmt bench bench-smoke
+.PHONY: check build vet test race fuzz fmt bench bench-smoke simcheck simcheck-short
 
 check: vet build race fuzz
 
@@ -48,6 +52,16 @@ bench:
 # and executes without spending CI minutes on stable numbers.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./internal/raid ./internal/core | $(GO) run ./cmd/benchjson -out /dev/null
+
+# Tier-2 gate: seeded fault-schedule simulation against the invariant
+# oracle (internal/simcheck). Every failure prints a one-line repro:
+#   go test ./internal/simcheck -run 'TestSimCheck$' -seed=N -ops=M
+simcheck:
+	$(GO) test ./internal/simcheck -count=1 -seeds=$(SIMCHECK_SEEDS) -ops=$(SIMCHECK_OPS)
+
+# The CI variant: fewer seeds under the race detector.
+simcheck-short:
+	$(GO) test -race ./internal/simcheck -count=1 -short
 
 fmt:
 	gofmt -l -w .

@@ -226,8 +226,8 @@ func run(c *transport.Client, cmd string, args []string, pl int, raid6 bool, mis
 		}
 		fmt.Printf("\nfailovers=%d rollback-deletes=%d circuit-opens=%d probe-successes=%d\n",
 			m.WriteFailovers, m.RollbackDeletes, m.CircuitOpens, m.ProbeSuccesses)
-		fmt.Printf("hedged-reads=%d hedge-wins=%d coalesced-reads=%d\n",
-			m.HedgedReads, m.HedgeWins, m.CoalescedReads)
+		fmt.Printf("hedged-reads=%d hedge-wins=%d coalesced-reads=%d corruptions-detected=%d\n",
+			m.HedgedReads, m.HedgeWins, m.CoalescedReads, m.CorruptionsDetected)
 		return nil
 	default:
 		usage()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"time"
 )
 
@@ -16,9 +17,9 @@ const (
 )
 
 // errRungFailed is the internal marker for a primary or mirror fetch
-// that missed (wrong length, exhausted retries, outage). It never
-// reaches callers: when every rung fails, the reconstruction rung's
-// descriptive ErrUnavailable is returned instead.
+// that missed (wrong length, corrupt bytes, exhausted retries, outage).
+// It never reaches callers: when every rung fails, the reconstruction
+// rung's descriptive ErrUnavailable is returned instead.
 var errRungFailed = errors.New("core: read rung failed")
 
 // readRung is one source in the payload read ladder: where the bytes
@@ -27,33 +28,59 @@ var errRungFailed = errors.New("core: read rung failed")
 type readRung struct {
 	kind    rungKind
 	provIdx int // provider racing this rung; -1 for reconstruction
-	fetch   func() ([]byte, error)
+	fetch   func() (fetchResult, error)
 }
 
 // readRungs builds the ladder for a plan: primary, then each mirror,
-// then degraded RAID reconstruction. The reconstruction rung is always
+// then degraded RAID reconstruction. Every rung verifies its payload
+// end-to-end (strip/decrypt + checksum) before declaring success, so a
+// provider returning plausible-length garbage is indistinguishable from
+// one that failed outright: the ladder falls through to the next copy
+// instead of serving corrupt bytes. The reconstruction rung is always
 // present — without parity it fails immediately with the descriptive
 // error the ladder reports when everything else missed too.
 func (d *Distributor) readRungs(plan *fetchPlan) []readRung {
 	entry := &plan.entry
-	rungs := make([]readRung, 0, len(entry.Mirrors)+2)
-	rungs = append(rungs, readRung{kind: rungPrimary, provIdx: entry.CPIndex, fetch: func() ([]byte, error) {
-		if payload, ok := d.tryGet(entry.CPIndex, entry.VirtualID, entry.PayloadLen); ok {
-			return payload, nil
+	verified := func(payload []byte) (fetchResult, error) {
+		recovered, err := stripAndVerify(entry, payload)
+		if err != nil {
+			return fetchResult{}, err
 		}
-		return nil, errRungFailed
-	}})
-	for _, m := range entry.Mirrors {
-		m := m
-		rungs = append(rungs, readRung{kind: rungMirror, provIdx: m.CPIndex, fetch: func() ([]byte, error) {
-			if payload, ok := d.tryGet(m.CPIndex, m.VirtualID, entry.PayloadLen); ok {
-				return payload, nil
-			}
-			return nil, errRungFailed
-		}})
+		return fetchResult{payload: payload, recovered: recovered}, nil
 	}
-	rungs = append(rungs, readRung{kind: rungReconstruct, provIdx: -1, fetch: func() ([]byte, error) {
-		return d.reconstructPlan(plan)
+	source := func(provIdx int, vid string) func() (fetchResult, error) {
+		return func() (fetchResult, error) {
+			payload, ok := d.tryGet(provIdx, vid, entry.PayloadLen)
+			if !ok {
+				return fetchResult{}, errRungFailed
+			}
+			res, err := verified(payload)
+			if err != nil {
+				// The provider answered with the right length but the
+				// wrong bytes — silent corruption, not unavailability.
+				d.counters.corruptionsDetected.Add(1)
+				return fetchResult{}, errRungFailed
+			}
+			return res, nil
+		}
+	}
+	rungs := make([]readRung, 0, len(entry.Mirrors)+2)
+	rungs = append(rungs, readRung{kind: rungPrimary, provIdx: entry.CPIndex,
+		fetch: source(entry.CPIndex, entry.VirtualID)})
+	for _, m := range entry.Mirrors {
+		rungs = append(rungs, readRung{kind: rungMirror, provIdx: m.CPIndex,
+			fetch: source(m.CPIndex, m.VirtualID)})
+	}
+	rungs = append(rungs, readRung{kind: rungReconstruct, provIdx: -1, fetch: func() (fetchResult, error) {
+		payload, err := d.reconstructPlan(plan)
+		if err != nil {
+			return fetchResult{}, err
+		}
+		res, verr := verified(payload)
+		if verr != nil {
+			return fetchResult{}, fmt.Errorf("%w: reconstruction yields corrupt payload: %v", ErrUnavailable, verr)
+		}
+		return res, nil
 	}})
 	return rungs
 }
@@ -74,17 +101,17 @@ func (d *Distributor) recordRungWin(kind rungKind) {
 // fetchSequential walks the ladder one rung at a time — the read path
 // when hedging is disabled. The reconstruction rung runs last, so on
 // total failure its error (the most descriptive) is what callers see.
-func (d *Distributor) fetchSequential(rungs []readRung) ([]byte, error) {
+func (d *Distributor) fetchSequential(rungs []readRung) (fetchResult, error) {
 	var lastErr error
 	for i := range rungs {
-		payload, err := rungs[i].fetch()
+		res, err := rungs[i].fetch()
 		if err == nil {
 			d.recordRungWin(rungs[i].kind)
-			return payload, nil
+			return res, nil
 		}
 		lastErr = err
 	}
-	return nil, lastErr
+	return fetchResult{}, lastErr
 }
 
 // hedgeDelay returns how long to let a just-launched rung on provIdx run
@@ -121,11 +148,11 @@ func (d *Distributor) hedgeDelay(provIdx int) time.Duration {
 // they run to completion in the background and their genuine outcomes
 // feed the health tracker exactly as if they had run alone, so losing a
 // race never looks like a provider failure.
-func (d *Distributor) fetchHedged(rungs []readRung) ([]byte, error) {
+func (d *Distributor) fetchHedged(rungs []readRung) (fetchResult, error) {
 	type rungResult struct {
-		idx     int
-		payload []byte
-		err     error
+		idx int
+		res fetchResult
+		err error
 	}
 	// Buffered to len(rungs): a loser finishing after the winner returns
 	// must never block on its send, or its goroutine would leak.
@@ -137,8 +164,8 @@ func (d *Distributor) fetchHedged(rungs []readRung) ([]byte, error) {
 		idx := launched
 		launched++
 		go func() {
-			payload, err := r.fetch()
-			results <- rungResult{idx: idx, payload: payload, err: err}
+			res, err := r.fetch()
+			results <- rungResult{idx: idx, res: res, err: err}
 		}()
 	}
 
@@ -183,7 +210,7 @@ func (d *Distributor) fetchHedged(rungs []readRung) ([]byte, error) {
 					d.counters.hedgeWins.Add(1)
 				}
 				d.recordRungWin(rungs[res.idx].kind)
-				return res.payload, nil
+				return res.res, nil
 			}
 			if rungs[res.idx].kind == rungReconstruct {
 				reconErr = res.err
@@ -192,7 +219,7 @@ func (d *Distributor) fetchHedged(rungs []readRung) ([]byte, error) {
 			if done == len(rungs) {
 				// Every rung failed; reconstruction always ran, so its
 				// descriptive error is available.
-				return nil, reconErr
+				return fetchResult{}, reconErr
 			}
 			if done == launched {
 				// Nothing left in flight: escalate immediately rather
@@ -205,13 +232,15 @@ func (d *Distributor) fetchHedged(rungs []readRung) ([]byte, error) {
 	}
 }
 
-// fetchPayloadPlan returns the stored payload (post-mislead bytes). The
-// fallback ladder is: primary provider → mirror replicas → RAID
-// reconstruction from the stripe. With hedging enabled
-// (Config.HedgeAfter > 0) the rungs are raced after per-provider
-// EWMA-derived delays; otherwise they run strictly in order. It takes no
-// locks.
-func (d *Distributor) fetchPayloadPlan(plan *fetchPlan) ([]byte, error) {
+// fetchVerifiedPlan returns one verified chunk read: the stored payload
+// (post-mislead bytes) plus the recovered original bytes it verified
+// against. The fallback ladder is: primary provider → mirror replicas →
+// RAID reconstruction from the stripe, and every rung checksums its
+// answer before winning — corruption is rescued by falling through the
+// ladder, never served. With hedging enabled (Config.HedgeAfter > 0) the
+// rungs are raced after per-provider EWMA-derived delays; otherwise they
+// run strictly in order. It takes no locks.
+func (d *Distributor) fetchVerifiedPlan(plan *fetchPlan) (fetchResult, error) {
 	rungs := d.readRungs(plan)
 	if d.hedgeAfter <= 0 {
 		return d.fetchSequential(rungs)

@@ -23,6 +23,10 @@ type OpMetrics struct {
 	HedgedReads      int64 // payload reads where a hedge rung was launched
 	HedgeWins        int64 // reads won by a hedge-launched rung
 	CoalescedReads   int64 // reads served by another reader's in-flight fetch
+	// CorruptionsDetected counts provider answers that had the right
+	// length but failed end-to-end verification — silent corruption the
+	// read ladder rescued (or at least refused to serve).
+	CorruptionsDetected int64
 	// Cache reports the read-side chunk cache; all-zero when caching is
 	// disabled (Config.CacheBytes == 0).
 	Cache CacheStats
@@ -33,30 +37,31 @@ type opCounters struct {
 	uploads, fileReads, chunkReads, rangeReads, updates, removes atomic.Int64
 	primaryHits, mirrorHits, reconstructions, transientRetries   atomic.Int64
 	writeFailovers, rollbackDeletes                              atomic.Int64
-	hedgedReads, hedgeWins                                       atomic.Int64
+	hedgedReads, hedgeWins, corruptionsDetected                  atomic.Int64
 }
 
 // Metrics returns a snapshot of the distributor's operation counters.
 func (d *Distributor) Metrics() OpMetrics {
 	opens, probes := d.health.Totals()
 	return OpMetrics{
-		Uploads:          d.counters.uploads.Load(),
-		FileReads:        d.counters.fileReads.Load(),
-		ChunkReads:       d.counters.chunkReads.Load(),
-		RangeReads:       d.counters.rangeReads.Load(),
-		Updates:          d.counters.updates.Load(),
-		Removes:          d.counters.removes.Load(),
-		PrimaryHits:      d.counters.primaryHits.Load(),
-		MirrorHits:       d.counters.mirrorHits.Load(),
-		Reconstructions:  d.counters.reconstructions.Load(),
-		TransientRetries: d.counters.transientRetries.Load(),
-		WriteFailovers:   d.counters.writeFailovers.Load(),
-		RollbackDeletes:  d.counters.rollbackDeletes.Load(),
-		CircuitOpens:     opens,
-		ProbeSuccesses:   probes,
-		HedgedReads:      d.counters.hedgedReads.Load(),
-		HedgeWins:        d.counters.hedgeWins.Load(),
-		CoalescedReads:   d.flights.coalesced.Load(),
-		Cache:            d.cache.stats(),
+		Uploads:             d.counters.uploads.Load(),
+		FileReads:           d.counters.fileReads.Load(),
+		ChunkReads:          d.counters.chunkReads.Load(),
+		RangeReads:          d.counters.rangeReads.Load(),
+		Updates:             d.counters.updates.Load(),
+		Removes:             d.counters.removes.Load(),
+		PrimaryHits:         d.counters.primaryHits.Load(),
+		MirrorHits:          d.counters.mirrorHits.Load(),
+		Reconstructions:     d.counters.reconstructions.Load(),
+		TransientRetries:    d.counters.transientRetries.Load(),
+		WriteFailovers:      d.counters.writeFailovers.Load(),
+		RollbackDeletes:     d.counters.rollbackDeletes.Load(),
+		CircuitOpens:        opens,
+		ProbeSuccesses:      probes,
+		HedgedReads:         d.counters.hedgedReads.Load(),
+		HedgeWins:           d.counters.hedgeWins.Load(),
+		CoalescedReads:      d.flights.coalesced.Load(),
+		CorruptionsDetected: d.counters.corruptionsDetected.Load(),
+		Cache:               d.cache.stats(),
 	}
 }

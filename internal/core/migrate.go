@@ -278,6 +278,10 @@ func (d *Distributor) moveSnapshot(i, provIdx int, rep *DecommissionReport) (int
 		feNow.Gen++
 		d.gen++
 		d.mu.Unlock()
+		// The read failure may be transient while the blob still exists;
+		// without a best-effort delete the dropped reference leaks an
+		// orphan no audit can attribute.
+		_ = sp.Delete(vid)
 		return 1, nil
 	}
 

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/provider"
+	"repro/internal/raid"
 )
 
 // GetRange serves an arbitrary byte range of a file by fetching only the
@@ -111,6 +113,14 @@ type ScrubReport struct {
 	// Skipped counts chunks that mutated concurrently between the scan
 	// and the repair; the next scrub sees their final state.
 	Skipped int
+	// ParityChecked/ParityRepaired/ParityUnrepairable cover the second
+	// phase: every stripe's parity shards recomputed from its members and
+	// compared byte-for-byte against what the providers hold. Without
+	// this phase a rotted parity blob stays latent until the exact
+	// provider failure it was bought to survive.
+	ParityChecked      int
+	ParityRepaired     int
+	ParityUnrepairable int
 }
 
 // Scrub verifies every stored chunk against its checksum and rewrites any
@@ -168,8 +178,9 @@ func (d *Distributor) Scrub() (ScrubReport, error) {
 			}
 		}
 
-		// Rebuild the canonical payload from any healthy source.
-		payload, err := d.healthyPayload(&it.plan)
+		// Rebuild the canonical payload from any healthy source — the
+		// read ladder only returns verified bytes.
+		payload, err := d.fetchPayloadPlan(&it.plan)
 		if err != nil {
 			rep.Unrepairable++
 			continue
@@ -207,7 +218,112 @@ func (d *Distributor) Scrub() (ScrubReport, error) {
 			rep.Unrepairable++
 		}
 	}
+	d.scrubParity(&rep)
 	return rep, nil
+}
+
+// scrubParity is Scrub's second phase: recompute every stripe's parity
+// from its (verified) member payloads and rewrite any parity blob that
+// is missing, truncated or holds different bytes. The same generation
+// re-check as chunk repair applies — a stripe mutated since the snapshot
+// belongs to a newer write and is left to the next scrub.
+func (d *Distributor) scrubParity(rep *ScrubReport) {
+	d.mu.RLock()
+	type stripeItem struct {
+		level       raid.Level
+		shardLen    int
+		parity      []parityShard
+		memberPlans []fetchPlan
+		fe          *fileEntry
+		gen         uint64
+		client      string
+		filename    string
+	}
+	items := make([]stripeItem, 0, len(d.stripes))
+	for si := range d.stripes {
+		st := &d.stripes[si]
+		if len(st.Parity) == 0 || len(st.Members) == 0 {
+			continue
+		}
+		owner := &d.chunks[st.Members[0]]
+		if owner.CPIndex < 0 {
+			continue
+		}
+		fe := d.clients[owner.Client].Files[owner.Filename]
+		it := stripeItem{
+			level:    st.Level,
+			shardLen: st.ShardLen,
+			parity:   append([]parityShard(nil), st.Parity...),
+			fe:       fe,
+			gen:      fe.Gen,
+			client:   owner.Client,
+			filename: owner.Filename,
+		}
+		for _, ci := range st.Members {
+			it.memberPlans = append(it.memberPlans, d.planFetch(&d.chunks[ci]))
+		}
+		items = append(items, it)
+	}
+	d.mu.RUnlock()
+
+	for k := range items {
+		it := &items[k]
+		rep.ParityChecked += len(it.parity)
+
+		// Parity is computed over the zero-padded stored payloads, so the
+		// members must be readable (any healthy source) to know the truth.
+		padded := make([][]byte, len(it.memberPlans))
+		readable := true
+		for mi := range it.memberPlans {
+			payload, err := d.fetchPayloadPlan(&it.memberPlans[mi])
+			if err != nil {
+				readable = false
+				break
+			}
+			pad := make([]byte, it.shardLen)
+			copy(pad, payload)
+			padded[mi] = pad
+		}
+		if !readable {
+			rep.ParityUnrepairable += len(it.parity)
+			continue
+		}
+		expected := make([][]byte, it.level.ParityShards())
+		for i := range expected {
+			expected[i] = make([]byte, it.shardLen)
+		}
+		if err := raid.ParityInto(it.level, padded, expected); err != nil {
+			rep.ParityUnrepairable += len(it.parity)
+			continue
+		}
+
+		for pi, ps := range it.parity {
+			if pi >= len(expected) {
+				break
+			}
+			got, ok := d.tryGet(ps.CPIndex, ps.VirtualID, it.shardLen)
+			if ok && bytes.Equal(got, expected[pi]) {
+				continue // healthy
+			}
+			d.mu.RLock()
+			feNow, ok := d.clients[it.client].Files[it.filename]
+			changed := !ok || feNow != it.fe || feNow.Gen != it.gen
+			d.mu.RUnlock()
+			if changed {
+				rep.Skipped++
+				continue
+			}
+			ps := ps
+			pi := pi
+			if e := d.providerOp(ps.CPIndex, func(p provider.Provider) error {
+				return p.Put(ps.VirtualID, expected[pi])
+			}); e != nil {
+				rep.ParityUnrepairable++
+			} else {
+				rep.ParityRepaired++
+			}
+		}
+	}
 }
 
 // payloadMatches verifies a stored payload against the chunk's checksum
@@ -215,27 +331,4 @@ func (d *Distributor) Scrub() (ScrubReport, error) {
 func (d *Distributor) payloadMatches(entry *chunkEntry, payload []byte) bool {
 	data, err := stripAndVerify(entry, payload)
 	return err == nil && data != nil
-}
-
-// healthyPayload finds a payload copy that passes verification: primary,
-// then mirrors, then RAID reconstruction. It works entirely from the
-// plan and takes no locks.
-func (d *Distributor) healthyPayload(plan *fetchPlan) ([]byte, error) {
-	entry := &plan.entry
-	if payload, ok := d.tryGet(entry.CPIndex, entry.VirtualID, entry.PayloadLen); ok && d.payloadMatches(entry, payload) {
-		return payload, nil
-	}
-	for _, m := range entry.Mirrors {
-		if payload, ok := d.tryGet(m.CPIndex, m.VirtualID, entry.PayloadLen); ok && d.payloadMatches(entry, payload) {
-			return payload, nil
-		}
-	}
-	payload, err := d.reconstructPlan(plan)
-	if err != nil {
-		return nil, err
-	}
-	if !d.payloadMatches(entry, payload) {
-		return nil, fmt.Errorf("%w: reconstruction yields corrupt payload", ErrUnavailable)
-	}
-	return payload, nil
 }

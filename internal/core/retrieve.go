@@ -117,17 +117,16 @@ func (d *Distributor) GetFile(client, password, filename string) ([]byte, error)
 		}
 		plan := &plans[serial]
 		key := cacheKey{fid: fid, serial: serial, gen: fileGen}
-		// The leader recovers straight into its segment of the shared
-		// buffer — the allocation-free path — and only materializes a
-		// copy if another reader actually coalesced onto this fetch.
+		// The leader copies the verified recovery into its segment of the
+		// shared buffer; coalesced readers get the same slice back. For
+		// plain chunks the recovered bytes alias the provider payload (no
+		// decoys to strip), so this is one copy either way.
 		data, sharedRes, err := d.flights.do(key, func() ([]byte, error) {
-			payload, err := d.fetchPayloadPlan(plan)
+			res, err := d.fetchVerifiedPlan(plan)
 			if err != nil {
 				return nil, err
 			}
-			if err := stripAndVerifyInto(&plan.entry, payload, seg); err != nil {
-				return nil, err
-			}
+			copy(seg[:cap(seg)], res.recovered)
 			out := buf[offs[serial]:offs[serial+1]]
 			d.cache.put(key, out)
 			return out, nil
@@ -240,21 +239,51 @@ func (d *Distributor) planFetch(entry *chunkEntry) fetchPlan {
 	return plan
 }
 
+// fetchResult is one verified chunk read: the stored payload as it sits
+// on the provider (mislead bytes in, or ciphertext) plus the recovered
+// original bytes that payload verified against. Read paths serve
+// recovered; maintenance paths (parity math, re-placement, snapshots)
+// reuse payload knowing it passed end-to-end verification.
+type fetchResult struct {
+	payload   []byte
+	recovered []byte
+}
+
+// fetchPayloadPlan returns just the verified stored payload — the
+// convenience used by maintenance paths (parity re-encode, blob moves,
+// snapshots) that re-place the payload as-is and only need the proof
+// that it matches the chunk's checksum end-to-end.
+func (d *Distributor) fetchPayloadPlan(plan *fetchPlan) ([]byte, error) {
+	res, err := d.fetchVerifiedPlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	return res.payload, nil
+}
+
 // fetchChunkPlan retrieves a chunk's original bytes from a plan:
 // provider get (or RAID reconstruction), mislead stripping, checksum
 // verification. It takes no locks.
 func (d *Distributor) fetchChunkPlan(plan *fetchPlan) ([]byte, error) {
-	payload, err := d.fetchPayloadPlan(plan)
+	res, err := d.fetchVerifiedPlan(plan)
 	if err != nil {
 		return nil, err
 	}
-	return stripAndVerify(&plan.entry, payload)
+	return res.recovered, nil
 }
 
 // stripAndVerify recovers a chunk's original bytes from its stored
 // payload — decrypting (for encrypted files) or stripping misleading
 // bytes — and checks the result against the chunk's checksum.
 func stripAndVerify(entry *chunkEntry, payload []byte) ([]byte, error) {
+	if entry.EncKey == nil && entry.Mislead.Count() == 0 {
+		// No decoys and no ciphertext: the payload IS the original, so
+		// verify in place and alias it instead of copying.
+		if sha256.Sum256(payload) != entry.Sum {
+			return nil, fmt.Errorf("%w: checksum mismatch for %s/%s#%d", ErrUnavailable, entry.Client, entry.Filename, entry.Serial)
+		}
+		return payload, nil
+	}
 	var data []byte
 	var err error
 	if entry.EncKey != nil {
@@ -272,35 +301,6 @@ func stripAndVerify(entry *chunkEntry, payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: checksum mismatch for %s/%s#%d", ErrUnavailable, entry.Client, entry.Filename, entry.Serial)
 	}
 	return data, nil
-}
-
-// stripAndVerifyInto is stripAndVerify recovering the chunk into dst, a
-// zero-length slice whose capacity is exactly entry.DataLen (one segment
-// of a caller-preallocated buffer). The length precheck guarantees the
-// recovery cannot outgrow the segment, so the bytes land in place.
-func stripAndVerifyInto(entry *chunkEntry, payload, dst []byte) error {
-	if entry.EncKey != nil {
-		data, err := cryptofrag.Decrypt(entry.EncKey, payload)
-		if err != nil {
-			return fmt.Errorf("%w: decrypting chunk: %v", ErrUnavailable, err)
-		}
-		if len(data) != entry.DataLen || sha256.Sum256(data) != entry.Sum {
-			return fmt.Errorf("%w: checksum mismatch for %s/%s#%d", ErrUnavailable, entry.Client, entry.Filename, entry.Serial)
-		}
-		copy(dst[:entry.DataLen], data)
-		return nil
-	}
-	if len(payload)-entry.Mislead.Count() != entry.DataLen {
-		return fmt.Errorf("%w: checksum mismatch for %s/%s#%d", ErrUnavailable, entry.Client, entry.Filename, entry.Serial)
-	}
-	data, err := mislead.StripTo(dst, payload, entry.Mislead)
-	if err != nil {
-		return fmt.Errorf("core: stripping misleading bytes: %w", err)
-	}
-	if sha256.Sum256(data) != entry.Sum {
-		return fmt.Errorf("%w: checksum mismatch for %s/%s#%d", ErrUnavailable, entry.Client, entry.Filename, entry.Serial)
-	}
-	return nil
 }
 
 // tryGet fetches one blob with transient-failure retry, feeding the

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -23,7 +24,11 @@ type OutageConfig struct {
 	Uploads   int // phase-1 uploads against the dark fleet
 	Blackouts int // phase-2 induced rollback events
 	FileBytes int // size of each generated file
-	Seed      int64
+	// Seed drives the generated file contents. Together with the virtual
+	// breaker clock (advanced per operation, never read from wall time)
+	// it makes the whole run a pure function of this config: same seed,
+	// same op sequence, same breaker states.
+	Seed int64
 }
 
 // DefaultOutageConfig exercises failover, circuit breaking and rollback
@@ -76,12 +81,21 @@ func RunSustainedOutage(cfg OutageConfig) (OutageReport, error) {
 			return rep, err
 		}
 	}
-	// A short cooldown lets circuits opened by the staged blackouts heal
-	// within the run; the permanently dark provider keeps re-tripping its
-	// breaker on every failed probe.
+	// Breaker time is virtual and advanced per operation, never read from
+	// the wall clock, so the scenario's staging is purely op-count-driven:
+	// the same seed always sees the same breaker states at the same ops.
+	// A short cooldown (5 ticks of the per-upload 1ms advance) lets
+	// circuits opened by the staged blackouts heal within the run; the
+	// permanently dark provider keeps re-tripping its breaker on every
+	// failed probe.
+	var vnow atomic.Int64
+	tick := func(delta time.Duration) { vnow.Add(int64(delta)) }
 	d, err := core.New(core.Config{
-		Fleet:  fleet,
-		Health: health.Config{Cooldown: 5 * time.Millisecond},
+		Fleet: fleet,
+		Health: health.Config{
+			Cooldown: 5 * time.Millisecond,
+			Clock:    func() time.Time { return time.Unix(0, vnow.Load()) },
+		},
 	})
 	if err != nil {
 		return rep, err
@@ -101,6 +115,7 @@ func RunSustainedOutage(cfg OutageConfig) (OutageReport, error) {
 	dark(hooked[0])
 
 	upload := func(name string) error {
+		tick(time.Millisecond)
 		data := make([]byte, cfg.FileBytes)
 		rng.Read(data)
 		rep.UploadsAttempted++
@@ -158,7 +173,7 @@ func RunSustainedOutage(cfg OutageConfig) (OutageReport, error) {
 			h.SetBeforePut(nil)
 			h.SetBeforeGet(nil)
 		}
-		time.Sleep(10 * time.Millisecond) // let breaker cooldowns elapse
+		tick(10 * time.Millisecond) // let breaker cooldowns elapse, virtually
 		if err := upload(fmt.Sprintf("heal%02d", b)); err != nil {
 			return rep, err
 		}

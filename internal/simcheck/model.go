@@ -1,0 +1,120 @@
+package simcheck
+
+import (
+	"sort"
+
+	"repro/internal/privacy"
+	"repro/internal/raid"
+)
+
+// modelFile is the reference model's view of one committed file: the
+// exact logical chunk payloads the distributor must serve back,
+// regardless of mislead decoys, mirrors, parity or migrations.
+type modelFile struct {
+	client string
+	name   string
+	pl     privacy.Level
+	raidL  raid.Level
+	chunks [][]byte
+	// limbo marks a file whose RemoveFile failed partway: the workload
+	// stops touching it and the checkpoint retries the remove (with
+	// faults suspended) until the tables agree it is gone.
+	limbo bool
+}
+
+func (f *modelFile) bytes() []byte {
+	var out []byte
+	for _, c := range f.chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// model is the in-memory reference the oracle compares the distributor
+// against. It tracks only logical content and identity; everything
+// physical (placement, vids, stripes) is read back through StateView.
+type model struct {
+	files map[string]*modelFile // key: client + "/" + name
+	// lastGen remembers each FID's generation at the previous checkpoint
+	// so the oracle can assert per-file generation monotonicity.
+	lastGen map[uint64]uint64
+	// lastDistGen is the distributor-wide counter at the last checkpoint.
+	lastDistGen uint64
+	policy      privacy.ChunkSizePolicy
+}
+
+func newModel() *model {
+	return &model{
+		files:   make(map[string]*modelFile),
+		lastGen: make(map[uint64]uint64),
+		policy:  privacy.DefaultChunkSizes(),
+	}
+}
+
+func fileKey(client, name string) string { return client + "/" + name }
+
+// split mirrors the chunker's size policy: fixed-size chunks at the
+// level's chunk size, and an empty payload still occupies one chunk.
+func (m *model) split(data []byte, pl privacy.Level) [][]byte {
+	size, err := m.policy.Size(pl)
+	if err != nil || size <= 0 {
+		size = 64 << 10
+	}
+	if len(data) == 0 {
+		return [][]byte{{}}
+	}
+	var chunks [][]byte
+	for off := 0; off < len(data); off += size {
+		end := off + size
+		if end > len(data) {
+			end = len(data)
+		}
+		chunks = append(chunks, append([]byte(nil), data[off:end]...))
+	}
+	return chunks
+}
+
+func (m *model) addFile(client, name string, data []byte, pl privacy.Level, rl raid.Level) {
+	m.files[fileKey(client, name)] = &modelFile{
+		client: client, name: name, pl: pl, raidL: rl,
+		chunks: m.split(data, pl),
+	}
+}
+
+func (m *model) drop(client, name string) { delete(m.files, fileKey(client, name)) }
+
+// live returns the non-limbo files in deterministic (client, name)
+// order — the population the workload picks read/update targets from.
+func (m *model) live() []*modelFile {
+	var out []*modelFile
+	for _, f := range m.files {
+		if !f.limbo {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].client != out[j].client {
+			return out[i].client < out[j].client
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// limboFiles returns files whose remove must be completed, in
+// deterministic order.
+func (m *model) limboFiles() []*modelFile {
+	var out []*modelFile
+	for _, f := range m.files {
+		if f.limbo {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].client != out[j].client {
+			return out[i].client < out[j].client
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
