@@ -6,15 +6,16 @@
 #   FUZZTIME=30s make fuzz  longer fuzz budget
 #   make simcheck         tier-2: deterministic fault-schedule simulation
 #   SIMCHECK_SEEDS=64 SIMCHECK_OPS=600 make simcheck  bigger sweep
+#   make walcheck         crash-restart recovery sweep (WAL durability)
 
 GO        ?= go
 FUZZTIME  ?= 5s
 SIMCHECK_SEEDS ?= 32
 SIMCHECK_OPS   ?= 0
-BENCHOUT  ?= BENCH_4.json
+BENCHOUT  ?= BENCH_6.json
 BENCHTIME ?= 1s
 
-.PHONY: check build vet test race fuzz fmt bench bench-smoke simcheck simcheck-short
+.PHONY: check build vet test race fuzz fmt bench bench-smoke simcheck simcheck-short walcheck walcheck-race
 
 check: vet build race fuzz
 
@@ -40,6 +41,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecryptHostile -fuzztime $(FUZZTIME) ./internal/cryptofrag
 	$(GO) test -run '^$$' -fuzz FuzzKernels -fuzztime $(FUZZTIME) ./internal/raid
 	$(GO) test -run '^$$' -fuzz FuzzEncodeReconstruct -fuzztime $(FUZZTIME) ./internal/raid
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/wal
 
 # Data-plane benchmarks: RAID kernels and distributor read path, three
 # interleaved repetitions, summarized to $(BENCHOUT) with speedups over
@@ -62,6 +64,17 @@ simcheck:
 # The CI variant: fewer seeds under the race detector.
 simcheck-short:
 	$(GO) test -race ./internal/simcheck -count=1 -short
+
+# Crash-restart durability sweep: periodically kill the distributor
+# without warning, recover from its WAL, and hold every oracle invariant
+# against the recovered state. Failures print a crash-restart repro:
+#   go test ./internal/simcheck -run 'TestSimCheckCrashRestart' -seed=N -ops=M
+walcheck:
+	$(GO) test ./internal/simcheck -count=1 -run 'TestSimCheckCrashRestart|TestSimCheckCatchesLostCommit' -seeds=$(SIMCHECK_SEEDS) -ops=$(SIMCHECK_OPS)
+
+# The CI variant: fewer seeds under the race detector.
+walcheck-race:
+	$(GO) test -race ./internal/simcheck -count=1 -short -run 'TestSimCheckCrashRestart|TestSimCheckCatchesLostCommit'
 
 fmt:
 	gofmt -l -w .

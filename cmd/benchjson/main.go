@@ -72,11 +72,21 @@ var tailPairs = map[string]string{
 	"BenchmarkGetFileTail/hedged/256KiB": "BenchmarkGetFileTail/unhedged/256KiB",
 }
 
+// walPairs maps each durable upload benchmark to the in-memory baseline
+// from the same binary; the ratio is the WAL overhead (>1 = slower than
+// mem). The acceptance criterion is grouped <= 1.15x.
+var walPairs = map[string]string{
+	"BenchmarkUploadWALOverhead/off":     "BenchmarkUploadWALOverhead/mem",
+	"BenchmarkUploadWALOverhead/grouped": "BenchmarkUploadWALOverhead/mem",
+	"BenchmarkUploadWALOverhead/always":  "BenchmarkUploadWALOverhead/mem",
+}
+
 // report is the emitted JSON document.
 type report struct {
 	Results          map[string]result   `json:"results"`
 	KernelSpeedups   map[string]float64  `json:"kernel_speedups"`
 	TailSpeedups     map[string]float64  `json:"tail_speedups"`
+	WALOverheads     map[string]float64  `json:"wal_overheads"`
 	BaselineSpeedups map[string]float64  `json:"baseline_speedups"`
 	Baselines        map[string]baseline `json:"baselines"`
 }
@@ -129,6 +139,7 @@ func main() {
 		Results:          results,
 		KernelSpeedups:   make(map[string]float64),
 		TailSpeedups:     make(map[string]float64),
+		WALOverheads:     make(map[string]float64),
 		BaselineSpeedups: make(map[string]float64),
 		Baselines:        baselines,
 	}
@@ -144,6 +155,13 @@ func main() {
 		u, okU := results[unhedged]
 		if okH && okU && h.NsOp > 0 {
 			rep.TailSpeedups[hedged] = round2(u.NsOp / h.NsOp)
+		}
+	}
+	for durable, mem := range walPairs {
+		d, okD := results[durable]
+		m, okM := results[mem]
+		if okD && okM && m.NsOp > 0 {
+			rep.WALOverheads[durable] = round2(d.NsOp / m.NsOp)
 		}
 	}
 	for name, base := range baselines {
@@ -179,6 +197,9 @@ func main() {
 	}
 	for n, x := range rep.TailSpeedups {
 		fmt.Printf("  tail    %-55s %.2fx vs unhedged\n", shortName(n), x)
+	}
+	for n, x := range rep.WALOverheads {
+		fmt.Printf("  wal     %-55s %.2fx vs mem\n", shortName(n), x)
 	}
 	for n, x := range rep.BaselineSpeedups {
 		fmt.Printf("  vs-seed %-55s %.2fx\n", shortName(n), x)

@@ -10,10 +10,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -21,6 +27,7 @@ import (
 	"repro/internal/provider"
 	"repro/internal/raid"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -33,9 +40,17 @@ func main() {
 		secret    = flag.String("secret", "cloud-data-distributor", "virtual-id PRF secret")
 		cacheB    = flag.Int64("cache-bytes", 0, "read-side chunk cache bound in bytes (0 disables)")
 		hedge     = flag.Duration("hedge-after", 50*time.Millisecond, "max wait before hedging a read to the next replica/parity rung (0 disables)")
+		walDir    = flag.String("wal-dir", "", "write-ahead log directory for durable metadata (empty = in-memory)")
+		walSync   = flag.String("wal-sync", "grouped", "WAL sync policy: always, grouped, off")
+		snapEvery = flag.Int("snapshot-every", 0, "checkpoint cadence in committed records (0 = default 4096)")
+		drainT    = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound for draining in-flight writes")
 	)
 	flag.Parse()
 
+	policy, err := wal.ParseSyncPolicy(*walSync)
+	if err != nil {
+		log.Fatalf("distributor: %v", err)
+	}
 	fleet, err := buildFleet(*providers, *localN)
 	if err != nil {
 		log.Fatalf("distributor: %v", err)
@@ -45,19 +60,48 @@ func main() {
 		level = raid.RAID6
 	}
 	dist, err := core.New(core.Config{
-		Fleet:       fleet,
-		DefaultRaid: level,
-		StripeWidth: *width,
-		Secret:      []byte(*secret),
-		CacheBytes:  *cacheB,
-		HedgeAfter:  *hedge,
+		Fleet:         fleet,
+		DefaultRaid:   level,
+		StripeWidth:   *width,
+		Secret:        []byte(*secret),
+		CacheBytes:    *cacheB,
+		HedgeAfter:    *hedge,
+		WALDir:        *walDir,
+		WALSync:       policy,
+		SnapshotEvery: *snapEvery,
 	})
 	if err != nil {
 		log.Fatalf("distributor: %v", err)
 	}
+	if *walDir != "" {
+		h := dist.WALHealth()
+		fmt.Printf("durable metadata in %s (sync %s): replayed %d records at lsn %d\n",
+			*walDir, h.Policy, h.Replayed, h.NextLSN)
+	}
 	fmt.Printf("cloud data distributor over %d providers (default %v) listening on %s\n",
 		fleet.Len(), level, *addr)
-	log.Fatal(transport.NewHTTPServer(*addr, transport.NewDistributorServer(dist)).ListenAndServe())
+
+	srv := transport.NewHTTPServer(*addr, transport.NewDistributorServer(dist))
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		log.Fatalf("distributor: %v", err)
+	case sig := <-sigCh:
+		fmt.Printf("received %v: draining and checkpointing (bound %v)\n", sig, *drainT)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("distributor: http shutdown: %v", err)
+		}
+		if err := dist.Close(ctx); err != nil {
+			log.Fatalf("distributor: close: %v", err)
+		}
+		fmt.Println("clean shutdown: final checkpoint written")
+	}
 }
 
 func buildFleet(urls string, localN int) (*provider.Fleet, error) {

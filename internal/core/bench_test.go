@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/privacy"
 	"repro/internal/provider"
+	"repro/internal/wal"
 )
 
 // benchDistributor builds a distributor over n in-memory providers with a
@@ -207,6 +208,74 @@ func BenchmarkGetFileTail(b *testing.B) {
 				}
 				if len(got) != len(want) {
 					b.Fatalf("got %d bytes, want %d", len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// benchWALDistributor builds a distributor over 8 zero-latency in-memory
+// providers with the given WAL mode ("" = in-memory metadata), for
+// measuring the durability layer's overhead in isolation.
+func benchWALDistributor(b *testing.B, dir string, policy wal.SyncPolicy) *Distributor {
+	b.Helper()
+	f, err := provider.NewFleet()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		mem, err := provider.New(provider.Info{
+			Name: fmt.Sprintf("W%d", i), PL: privacy.High, CL: 1,
+		}, provider.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Add(mem); err != nil {
+			b.Fatal(err)
+		}
+	}
+	d, err := New(Config{Fleet: f, Parallelism: 4, WALDir: dir, WALSync: policy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.RegisterClient("alice"); err != nil {
+		b.Fatal(err)
+	}
+	if err := d.AddPassword("alice", "root", privacy.High); err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkUploadWALOverhead measures what durable metadata costs an
+// upload against the in-memory baseline. The acceptance criterion is
+// grouped sync within 15% of mem; always pays a real fsync per commit
+// and is reported for comparison.
+func BenchmarkUploadWALOverhead(b *testing.B) {
+	data := payload(8<<10, 77)
+	for _, cfg := range []struct {
+		name   string
+		wal    bool
+		policy wal.SyncPolicy
+	}{
+		{"mem", false, 0},
+		{"off", true, wal.SyncOff},
+		{"grouped", true, wal.SyncGrouped},
+		{"always", true, wal.SyncAlways},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			dir := ""
+			if cfg.wal {
+				dir = b.TempDir()
+			}
+			d := benchWALDistributor(b, dir, cfg.policy)
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				name := fmt.Sprintf("f-%d", i)
+				if _, err := d.Upload("alice", "root", name, data, privacy.Moderate, UploadOptions{}); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

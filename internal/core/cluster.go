@@ -58,6 +58,13 @@ func (d *Distributor) ImportMetadata(data []byte) error {
 	d.chunks = snap.Chunks
 	d.stripes = snap.Stripes
 	d.provCount = snap.ProvCount
+	// A durable secondary must checkpoint immediately: its log records
+	// predate the imported tables and no longer replay against them.
+	if d.wal != nil && !d.closed {
+		if err := d.checkpointLocked(); err != nil {
+			return fmt.Errorf("core: import metadata: %w", err)
+		}
+	}
 	return nil
 }
 

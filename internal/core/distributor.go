@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/health"
 	"repro/internal/privacy"
 	"repro/internal/provider"
 	"repro/internal/raid"
+	"repro/internal/wal"
 )
 
 // Config assembles a Distributor.
@@ -55,6 +57,19 @@ type Config struct {
 	// Health tunes the per-provider circuit breakers. The zero value
 	// selects the health package defaults.
 	Health health.Config
+	// WALDir enables durable metadata: every commit is logged there
+	// before it becomes visible, and New recovers the tables from it.
+	// Empty keeps the distributor in-memory (tests, examples).
+	WALDir string
+	// WALSync picks when log appends reach disk (wal.SyncAlways /
+	// SyncGrouped / SyncOff). The zero value is SyncAlways.
+	WALSync wal.SyncPolicy
+	// SnapshotEvery is the checkpoint cadence in committed records
+	// (default 4096): how much log tail a recovery may have to replay.
+	SnapshotEvery int
+	// WALBugSkipSync plants the lost-commit bug (acknowledged records
+	// skip their fsync) for the crash-restart oracle. Harnesses only.
+	WALBugSkipSync bool
 }
 
 // Distributor is the Cloud Data Distributor. All methods are safe for
@@ -107,6 +122,20 @@ type Distributor struct {
 	// (fid, serial, gen) triple as the cache, so a coalesced waiter can
 	// never be handed bytes from a superseded generation.
 	flights flightGroup
+
+	// Durability. wal is assigned once in New and never reassigned (so
+	// lock-free reads of the pointer are safe); nil means in-memory.
+	// closed (under mu) fails further commits after Close/Crash. The
+	// recovery outcome fields are written once in New, before the
+	// distributor is published.
+	wal                  *wal.Log
+	snapshotEvery        int
+	closed               bool
+	walReplayed          int64
+	walRecoveredSnapshot bool
+	walTailTruncated     bool
+	recoveryOrphans      int64
+	walCheckpointErrs    atomic.Int64
 }
 
 // nextEncNonce returns a fresh AES-CTR nonce. Callers hold d.mu.
@@ -162,7 +191,7 @@ func New(cfg Config) (*Distributor, error) {
 		}
 		vids = NewPRFAllocator(secret)
 	}
-	return &Distributor{
+	d := &Distributor{
 		fleet:       cfg.Fleet,
 		policy:      policy,
 		defaultRaid: defRaid,
@@ -178,7 +207,13 @@ func New(cfg Config) (*Distributor, error) {
 		inflight:    make(map[string]int),
 		reserved:    make(map[string]bool),
 		cache:       newChunkCache(cfg.CacheBytes),
-	}, nil
+	}
+	if cfg.WALDir != "" {
+		if err := d.recoverWAL(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
 }
 
 // RegisterClient creates a client record. Registering an existing client
@@ -191,6 +226,9 @@ func (d *Distributor) RegisterClient(name string) error {
 	defer d.mu.Unlock()
 	if _, ok := d.clients[name]; ok {
 		return fmt.Errorf("%w: client %q already registered", ErrExists, name)
+	}
+	if err := d.logAppendLocked(&walRecord{Op: "register", Client: name, Gen: d.gen}); err != nil {
+		return err
 	}
 	d.clients[name] = &clientEntry{
 		Name:      name,
@@ -227,6 +265,9 @@ func (d *Distributor) AddPassword(client, password string, pl privacy.Level) err
 	h := hashPassword(password)
 	if _, dup := c.Passwords[h]; dup {
 		return fmt.Errorf("%w: password already registered", ErrExists)
+	}
+	if err := d.logAppendLocked(&walRecord{Op: "passwd", Client: client, PassHash: h, PassPL: pl, Gen: d.gen}); err != nil {
+		return err
 	}
 	c.Passwords[h] = pl
 	return nil

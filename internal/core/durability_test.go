@@ -1,0 +1,466 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/privacy"
+	"repro/internal/raid"
+	"repro/internal/wal"
+)
+
+// runWALWorkload drives a representative mutation mix through d: it
+// touches every record type the log can carry except the decommission
+// moves (covered by TestWALReplayAfterDecommission).
+func runWALWorkload(t *testing.T, d *Distributor) {
+	t.Helper()
+	if err := d.RegisterClient("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddPassword("alice", "root", privacy.High); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddPassword("alice", "guest", privacy.Public); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RegisterClient("bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddPassword("bob", "pw", privacy.Moderate); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Upload("alice", "root", "f1", payload(40_000, 1), privacy.Moderate, UploadOptions{Assurance: raid.RAID6, Replicas: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Upload("alice", "root", "f2", payload(25_000, 2), privacy.High, UploadOptions{Assurance: raid.RAID5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Upload("bob", "pw", "g1", payload(12_000, 3), privacy.Public, UploadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.UpdateChunk("alice", "root", "f1", 1, payload(9_000, 4), UploadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveChunk("alice", "root", "f1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveFile("alice", "root", "f2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALReplayEquivalence(t *testing.T) {
+	fleet := testFleet(t, 8)
+	dir := t.TempDir()
+	d, err := New(Config{Fleet: fleet, Secret: []byte("s"), WALDir: dir, WALSync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWALWorkload(t, d)
+	want := d.StateView()
+	if err := d.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := New(Config{Fleet: fleet, Secret: []byte("s"), WALDir: dir, WALSync: wal.SyncAlways})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	got := d2.StateView()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("recovered state differs from pre-crash state\npre:  %+v\npost: %+v", want, got)
+	}
+	st := d2.Metrics().WAL
+	if !st.Enabled || st.Replayed == 0 {
+		t.Fatalf("expected replayed records after a crash, got %+v", st)
+	}
+	// The recovered distributor keeps serving: the surviving file reads
+	// back byte-identical through the normal path.
+	wantData := payload(12_000, 3)
+	gotData, err := d2.GetFile("bob", "pw", "g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotData) != string(wantData) {
+		t.Fatal("recovered distributor served wrong bytes")
+	}
+	// And keeps accepting mutations.
+	if _, err := d2.Upload("bob", "pw", "g2", payload(5_000, 5), privacy.Public, UploadOptions{}); err != nil {
+		t.Fatalf("post-recovery upload: %v", err)
+	}
+}
+
+func TestWALReplayAfterDecommission(t *testing.T) {
+	fleet := testFleet(t, 8)
+	dir := t.TempDir()
+	d, err := New(Config{Fleet: fleet, Secret: []byte("s"), WALDir: dir, WALSync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RegisterClient("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddPassword("alice", "root", privacy.High); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Upload("alice", "root", "f", payload(60_000, 7), privacy.Moderate, UploadOptions{Assurance: raid.RAID6, Replicas: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// UpdateChunk leaves a pre-modification snapshot blob behind, so the
+	// decommission below also exercises the snapshot-move records.
+	if err := d.UpdateChunk("alice", "root", "f", 0, payload(7_000, 8), UploadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Decommission(2); err != nil {
+		t.Fatal(err)
+	}
+	want := d.StateView()
+	if err := d.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := New(Config{Fleet: fleet, Secret: []byte("s"), WALDir: dir, WALSync: wal.SyncAlways})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if got := d2.StateView(); !reflect.DeepEqual(want, got) {
+		t.Fatalf("recovered state differs after decommission replay\npre:  %+v\npost: %+v", want, got)
+	}
+}
+
+func TestWALGracefulCloseReplaysNothing(t *testing.T) {
+	fleet := testFleet(t, 8)
+	dir := t.TempDir()
+	d, err := New(Config{Fleet: fleet, Secret: []byte("s"), WALDir: dir, WALSync: wal.SyncGrouped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWALWorkload(t, d)
+	want := d.StateView()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := d.Close(ctx); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := d.Upload("alice", "root", "late", payload(100, 9), privacy.Public, UploadOptions{}); err == nil {
+		t.Fatal("upload after Close must fail")
+	}
+
+	d2, err := New(Config{Fleet: fleet, Secret: []byte("s"), WALDir: dir, WALSync: wal.SyncAlways})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	st := d2.Metrics().WAL
+	if !st.RecoveredSnapshot {
+		t.Fatalf("graceful close must leave a final checkpoint, got %+v", st)
+	}
+	if st.Replayed != 0 {
+		t.Fatalf("graceful close must leave no log tail; replayed %d records", st.Replayed)
+	}
+	if got := d2.StateView(); !reflect.DeepEqual(want, got) {
+		t.Fatal("state recovered from the final checkpoint differs")
+	}
+}
+
+func TestWALSnapshotRotation(t *testing.T) {
+	fleet := testFleet(t, 8)
+	dir := t.TempDir()
+	d, err := New(Config{Fleet: fleet, Secret: []byte("s"), WALDir: dir, WALSync: wal.SyncAlways, SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWALWorkload(t, d) // 11 commits > 2 checkpoint cadences
+	st := d.Metrics().WAL
+	if st.Checkpoints < 2 {
+		t.Fatalf("Checkpoints = %d, want >= 2 with SnapshotEvery=4 over %d records", st.Checkpoints, st.Records)
+	}
+	if st.SinceCheckpoint >= 4+1 {
+		t.Fatalf("SinceCheckpoint = %d, cadence not enforced", st.SinceCheckpoint)
+	}
+	// Rotation purged old segments: the directory never accumulates more
+	// than the active segment plus the latest snapshot lineage.
+	info, err := wal.Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Segments) != 1 || len(info.Snapshots) != 1 {
+		t.Fatalf("after rotation: %d segments, %d snapshots; want 1 and 1", len(info.Segments), len(info.Snapshots))
+	}
+}
+
+func TestWALRecoverySweepsOrphans(t *testing.T) {
+	fleet := testFleet(t, 8)
+	dir := t.TempDir()
+	d, err := New(Config{Fleet: fleet, Secret: []byte("s"), WALDir: dir, WALSync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RegisterClient("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddPassword("alice", "root", privacy.High); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Upload("alice", "root", "f", payload(20_000, 11), privacy.Moderate, UploadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a blob no table references — the residue of a write that
+	// shipped but whose commit record never became durable.
+	p, err := fleet.At(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put("orphan-vid-1234", []byte("stranded")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := New(Config{Fleet: fleet, Secret: []byte("s"), WALDir: dir, WALSync: wal.SyncAlways})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	st := d2.Metrics().WAL
+	if st.RecoveryOrphans != 1 {
+		t.Fatalf("RecoveryOrphans = %d, want 1", st.RecoveryOrphans)
+	}
+	if _, err := p.Get("orphan-vid-1234"); err == nil {
+		t.Fatal("planted orphan survived the recovery sweep")
+	}
+	// Every referenced blob survived: the audit deleted only the stray.
+	data, err := d2.GetFile("alice", "root", "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(payload(20_000, 11)) {
+		t.Fatal("recovered file corrupted by the orphan sweep")
+	}
+}
+
+func TestWALFreshDirDoesNotSweep(t *testing.T) {
+	// Pointing an EMPTY WALDir at a fleet that already holds blobs must
+	// not mass-delete them: the orphan sweep is gated on having actually
+	// recovered state.
+	fleet := testFleet(t, 8)
+	d, err := New(Config{Fleet: fleet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RegisterClient("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddPassword("alice", "root", privacy.High); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Upload("alice", "root", "f", payload(10_000, 13), privacy.Moderate, UploadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := New(Config{Fleet: fleet, Secret: []byte("s"), WALDir: t.TempDir(), WALSync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := d2.Metrics().WAL; st.RecoveryOrphans != 0 {
+		t.Fatalf("fresh WALDir swept %d blobs from a populated fleet", st.RecoveryOrphans)
+	}
+	if _, err := d.GetFile("alice", "root", "f"); err != nil {
+		t.Fatalf("in-memory distributor's blobs were deleted: %v", err)
+	}
+}
+
+func TestWALCountersNotReusedAfterCrash(t *testing.T) {
+	fleet := testFleet(t, 8)
+	dir := t.TempDir()
+	d, err := New(Config{Fleet: fleet, Secret: []byte("s"), WALDir: dir, WALSync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RegisterClient("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddPassword("alice", "root", privacy.High); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Upload("alice", "root", "f", payload(8_000, 17), privacy.Moderate, UploadOptions{Replicas: 1}); err != nil {
+		t.Fatal(err)
+	}
+	d.mu.Lock()
+	preNonce, preFID := d.encNonce, d.fidSeq
+	preVID := d.vids.(*prfAllocator).ctr
+	d.mu.Unlock()
+	if err := d.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := New(Config{Fleet: fleet, Secret: []byte("s"), WALDir: dir, WALSync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.mu.Lock()
+	postNonce, postFID := d2.encNonce, d2.fidSeq
+	postVID := d2.vids.(*prfAllocator).ctr
+	d2.mu.Unlock()
+	// An operation that aborted after planning may have consumed counters
+	// past the logged watermark; the slack guarantees no AES-CTR nonce,
+	// file id or virtual id is ever issued twice across a crash.
+	if postNonce < preNonce+walCounterSlack {
+		t.Fatalf("enc nonce %d not advanced past pre-crash %d + slack", postNonce, preNonce)
+	}
+	if postFID < preFID+walCounterSlack {
+		t.Fatalf("fid seq %d not advanced past pre-crash %d + slack", postFID, preFID)
+	}
+	if postVID < preVID+walCounterSlack {
+		t.Fatalf("vid ctr %d not advanced past pre-crash %d + slack", postVID, preVID)
+	}
+}
+
+func TestWALCorruptionFailsStartupDescriptively(t *testing.T) {
+	fleet := testFleet(t, 8)
+	dir := t.TempDir()
+	d, err := New(Config{Fleet: fleet, Secret: []byte("s"), WALDir: dir, WALSync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RegisterClient("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddPassword("alice", "root", privacy.High); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Upload("alice", "root", "f", payload(30_000, 19), privacy.Moderate, UploadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF // mid-log, not a torn tail
+	if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = New(Config{Fleet: fleet, Secret: []byte("s"), WALDir: dir, WALSync: wal.SyncAlways})
+	if err == nil {
+		t.Fatal("startup over a corrupt log must fail")
+	}
+	if !strings.Contains(err.Error(), "wal") {
+		t.Fatalf("error does not name the wal: %v", err)
+	}
+
+	// The offline validator refuses the same directory.
+	if _, verr := ValidateWALDir(dir); verr == nil {
+		t.Fatal("ValidateWALDir accepted a corrupt directory")
+	}
+}
+
+func TestWALWrongFleetRejected(t *testing.T) {
+	fleet := testFleet(t, 8)
+	dir := t.TempDir()
+	d, err := New(Config{Fleet: fleet, Secret: []byte("s"), WALDir: dir, WALSync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RegisterClient("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddPassword("alice", "root", privacy.High); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Upload("alice", "root", "f", payload(30_000, 23), privacy.Moderate, UploadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	small := testFleet(t, 2)
+	_, err = New(Config{Fleet: small, Secret: []byte("s"), WALDir: dir, WALSync: wal.SyncAlways})
+	if err == nil {
+		t.Fatal("recovery against a smaller fleet must fail")
+	}
+	if !strings.Contains(err.Error(), "fleet") {
+		t.Fatalf("error does not explain the fleet mismatch: %v", err)
+	}
+}
+
+func TestValidateWALDirReport(t *testing.T) {
+	fleet := testFleet(t, 8)
+	dir := t.TempDir()
+	d, err := New(Config{Fleet: fleet, Secret: []byte("s"), WALDir: dir, WALSync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWALWorkload(t, d)
+	view := d.StateView()
+	if err := d.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := ValidateWALDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records == 0 {
+		t.Fatalf("report shows no records: %+v", rep)
+	}
+	if rep.Gen != view.Gen {
+		t.Fatalf("replayed gen %d, live was %d", rep.Gen, view.Gen)
+	}
+	if rep.Clients != 2 {
+		t.Fatalf("Clients = %d, want 2", rep.Clients)
+	}
+	if rep.Files != 2 { // f1 and g1 survive the workload
+		t.Fatalf("Files = %d, want 2", rep.Files)
+	}
+	if rep.TailTruncated {
+		t.Fatal("clean crash at SyncAlways must not report a torn tail")
+	}
+}
+
+func TestWALBugSkipSyncLosesCommits(t *testing.T) {
+	// The planted lost-commit bug: records are acknowledged but never
+	// fsynced, so a crash forgets everything since the last checkpoint.
+	fleet := testFleet(t, 8)
+	dir := t.TempDir()
+	d, err := New(Config{Fleet: fleet, Secret: []byte("s"), WALDir: dir, WALSync: wal.SyncAlways, WALBugSkipSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RegisterClient("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := New(Config{Fleet: fleet, Secret: []byte("s"), WALDir: dir, WALSync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.StateView().Files) != 0 {
+		t.Fatal("unexpected files")
+	}
+	d2.mu.Lock()
+	_, registered := d2.clients["alice"]
+	d2.mu.Unlock()
+	if registered {
+		t.Fatal("BugSkipSync did not lose the acknowledged commit — the planted bug is gone")
+	}
+}

@@ -30,6 +30,9 @@ type OpMetrics struct {
 	// Cache reports the read-side chunk cache; all-zero when caching is
 	// disabled (Config.CacheBytes == 0).
 	Cache CacheStats
+	// WAL reports the durability layer; all-zero when the distributor is
+	// in-memory (Config.WALDir == ""). Deterministic under SyncAlways.
+	WAL WALStats
 }
 
 // opCounters is the internal atomic representation.
@@ -63,5 +66,6 @@ func (d *Distributor) Metrics() OpMetrics {
 		CoalescedReads:      d.flights.coalesced.Load(),
 		CorruptionsDetected: d.counters.corruptionsDetected.Load(),
 		Cache:               d.cache.stats(),
+		WAL:                 d.walStats(),
 	}
 }

@@ -170,12 +170,24 @@ func (d *Distributor) moveChunk(i, provIdx int, rep *DecommissionReport) (int, e
 		d.dropCopied(newProv, newVID, live)
 		return 1, nil
 	}
+	rec := &walRecord{
+		Op: "move_chunk", Client: plan.entry.Client, Filename: plan.entry.Filename,
+		TableIdx: i, NewProv: newProv, NewVID: newVID,
+		FileGen: gen + 1, Gen: d.gen + 1,
+	}
+	if err := d.logAppendLocked(rec); err != nil {
+		d.releaseTicketLocked(t)
+		d.mu.Unlock()
+		d.dropCopied(newProv, newVID, false)
+		return 0, fmt.Errorf("core: decommission: %w", err)
+	}
 	d.commitTicketLocked(t)
 	d.provCount[provIdx]--
 	d.chunks[i].CPIndex = newProv
 	d.chunks[i].VirtualID = newVID
 	feNow.Gen++
 	d.gen++
+	d.maybeCheckpointLocked()
 	d.mu.Unlock()
 	_ = d.deleteJob(provIdx, vid)()
 	rep.ChunksMoved++
@@ -228,11 +240,23 @@ func (d *Distributor) moveMirror(i, mi, provIdx int, rep *DecommissionReport) (i
 		d.dropCopied(newProv, newVID, live)
 		return 1, nil
 	}
+	rec := &walRecord{
+		Op: "move_mirror", Client: plan.entry.Client, Filename: plan.entry.Filename,
+		TableIdx: i, SubIdx: mi, NewProv: newProv, NewVID: newVID,
+		FileGen: gen + 1, Gen: d.gen + 1,
+	}
+	if err := d.logAppendLocked(rec); err != nil {
+		d.releaseTicketLocked(t)
+		d.mu.Unlock()
+		d.dropCopied(newProv, newVID, false)
+		return 0, fmt.Errorf("core: decommission: %w", err)
+	}
 	d.commitTicketLocked(t)
 	d.provCount[provIdx]--
 	d.chunks[i].Mirrors[mi] = mirrorRef{VirtualID: newVID, CPIndex: newProv}
 	feNow.Gen++
 	d.gen++
+	d.maybeCheckpointLocked()
 	d.mu.Unlock()
 	_ = d.deleteJob(provIdx, vid)()
 	rep.MirrorsMoved++
@@ -272,11 +296,20 @@ func (d *Distributor) moveSnapshot(i, provIdx int, rep *DecommissionReport) (int
 			d.mu.Unlock()
 			return 1, nil
 		}
+		rec := &walRecord{
+			Op: "drop_snapshot", Client: client, Filename: filename,
+			TableIdx: i, FileGen: gen + 1, Gen: d.gen + 1,
+		}
+		if err := d.logAppendLocked(rec); err != nil {
+			d.mu.Unlock()
+			return 0, fmt.Errorf("core: decommission: %w", err)
+		}
 		d.chunks[i].SPIndex = -1
 		d.chunks[i].SnapVID = ""
 		d.provCount[provIdx]--
 		feNow.Gen++
 		d.gen++
+		d.maybeCheckpointLocked()
 		d.mu.Unlock()
 		// The read failure may be transient while the blob still exists;
 		// without a best-effort delete the dropped reference leaks an
@@ -312,12 +345,24 @@ func (d *Distributor) moveSnapshot(i, provIdx int, rep *DecommissionReport) (int
 		d.dropCopied(newProv, newVID, live)
 		return 1, nil
 	}
+	rec := &walRecord{
+		Op: "move_snapshot", Client: client, Filename: filename,
+		TableIdx: i, NewProv: newProv, NewVID: newVID,
+		FileGen: gen + 1, Gen: d.gen + 1,
+	}
+	if err := d.logAppendLocked(rec); err != nil {
+		d.releaseTicketLocked(t)
+		d.mu.Unlock()
+		d.dropCopied(newProv, newVID, false)
+		return 0, fmt.Errorf("core: decommission: %w", err)
+	}
 	d.commitTicketLocked(t)
 	d.provCount[provIdx]--
 	d.chunks[i].SPIndex = newProv
 	d.chunks[i].SnapVID = newVID
 	feNow.Gen++
 	d.gen++
+	d.maybeCheckpointLocked()
 	d.mu.Unlock()
 	_ = d.deleteJob(provIdx, vid)()
 	rep.SnapshotsMoved++
@@ -410,11 +455,23 @@ func (d *Distributor) moveParity(si, pi, provIdx int, rep *DecommissionReport) (
 		d.dropCopied(newProv, newVID, live)
 		return 1, nil
 	}
+	rec := &walRecord{
+		Op: "move_parity", Client: client, Filename: filename,
+		TableIdx: si, SubIdx: pi, NewProv: newProv, NewVID: newVID,
+		FileGen: gen + 1, Gen: d.gen + 1,
+	}
+	if err := d.logAppendLocked(rec); err != nil {
+		d.releaseTicketLocked(t)
+		d.mu.Unlock()
+		d.dropCopied(newProv, newVID, false)
+		return 0, fmt.Errorf("core: decommission: %w", err)
+	}
 	d.commitTicketLocked(t)
 	d.provCount[provIdx]--
 	d.stripes[si].Parity[pi] = parityShard{VirtualID: newVID, CPIndex: newProv}
 	feNow.Gen++
 	d.gen++
+	d.maybeCheckpointLocked()
 	d.mu.Unlock()
 	_ = d.deleteJob(provIdx, vid)()
 	rep.ParityMoved++

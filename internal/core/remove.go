@@ -79,6 +79,16 @@ func (d *Distributor) RemoveFile(client, password, filename string) error {
 	if feNow != fe || feNow.Gen != fileGen {
 		return fmt.Errorf("%w: %s changed during removal", ErrConflict, filename)
 	}
+	rec := &walRecord{
+		Op: "remove_file", Client: client, Filename: filename,
+		FileGen: fe.Gen + 1, ClientGen: c.Gen + 1, Gen: d.gen + 1,
+	}
+	if err := d.logAppendLocked(rec); err != nil {
+		// Tables untouched: same "remove incomplete" semantics as a failed
+		// delete — the already-deleted blobs surface as unavailable until
+		// the remove is retried.
+		return fmt.Errorf("core: remove incomplete: %w", err)
+	}
 	remaining := 0
 	for _, idx := range fe.ChunkIdx {
 		if idx < 0 {
@@ -115,6 +125,7 @@ func (d *Distributor) RemoveFile(client, password, filename string) error {
 	c.Gen++
 	d.gen++
 	d.counters.removes.Add(1)
+	d.maybeCheckpointLocked()
 	return nil
 }
 
@@ -279,6 +290,21 @@ func (d *Distributor) RemoveChunk(client, password, filename string, serial int)
 		d.rollbackStored(stored)
 		return fmt.Errorf("%w: %s#%d changed during removal", ErrConflict, filename, serial)
 	}
+	newMembers := make([]int, 0, len(survivors))
+	for _, s := range survivors {
+		newMembers = append(newMembers, s.chunkIdx)
+	}
+	rec := &walRecord{
+		Op: "remove_chunk", Client: client, Filename: filename, Serial: serial,
+		StripeID: stripeID, Members: newMembers, ShardLen: shardLen, Parity: newParity,
+		FileGen: fe.Gen + 1, Gen: d.gen + 1,
+	}
+	if err := d.logAppendLocked(rec); err != nil {
+		d.releaseTicketLocked(t)
+		d.mu.Unlock()
+		d.rollbackStored(stored)
+		return fmt.Errorf("core: remove incomplete: %w", err)
+	}
 	e := &d.chunks[fe.ChunkIdx[serial]]
 	d.provCount[e.CPIndex]--
 	for _, m := range e.Mirrors {
@@ -292,10 +318,6 @@ func (d *Distributor) RemoveChunk(client, password, filename string, serial int)
 	}
 	d.commitTicketLocked(t)
 	stNow := &d.stripes[stripeID]
-	newMembers := make([]int, 0, len(survivors))
-	for _, s := range survivors {
-		newMembers = append(newMembers, s.chunkIdx)
-	}
 	stNow.Members = newMembers
 	stNow.ShardLen = shardLen
 	stNow.Parity = newParity
@@ -309,6 +331,7 @@ func (d *Distributor) RemoveChunk(client, password, filename string, serial int)
 	fe.Gen++
 	d.gen++
 	d.counters.removes.Add(1)
+	d.maybeCheckpointLocked()
 	d.mu.Unlock()
 	return nil
 }

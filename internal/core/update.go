@@ -284,6 +284,27 @@ func (d *Distributor) UpdateChunk(client, password, filename string, serial int,
 		return fmt.Errorf("%w: %s#%d changed during update", ErrConflict, filename, serial)
 	}
 	e := &d.chunks[entryIdx]
+	newEntry := *e
+	newEntry.VirtualID = postVID
+	newEntry.CPIndex = postProv
+	newEntry.SPIndex = spIdx
+	newEntry.SnapVID = snapVID
+	newEntry.Mirrors = newMirrors
+	newEntry.Mislead = inj
+	newEntry.PayloadLen = len(payload)
+	newEntry.DataLen = len(newData)
+	newEntry.Sum = sha256.Sum256(newData)
+	rec := &walRecord{
+		Op: "update", Client: client, Filename: filename, Serial: serial,
+		StripeID: stripeID, Chunk: newEntry, Parity: newParity, ShardLen: shardLen,
+		FileGen: fe.Gen + 1, Gen: d.gen + 1,
+	}
+	if err := d.logAppendLocked(rec); err != nil {
+		d.releaseTicketLocked(t)
+		d.mu.Unlock()
+		d.rollbackStored(stored)
+		return fmt.Errorf("core: update aborted: %w", err)
+	}
 	retired := []storedShard{{old.CPIndex, old.VirtualID}}
 	d.provCount[old.CPIndex]--
 	for _, m := range old.Mirrors {
@@ -299,15 +320,7 @@ func (d *Distributor) UpdateChunk(client, password, filename string, serial int,
 		d.provCount[old.SPIndex]--
 	}
 	d.commitTicketLocked(t)
-	e.VirtualID = postVID
-	e.CPIndex = postProv
-	e.SPIndex = spIdx
-	e.SnapVID = snapVID
-	e.Mirrors = newMirrors
-	e.Mislead = inj
-	e.PayloadLen = len(payload)
-	e.DataLen = len(newData)
-	e.Sum = sha256.Sum256(newData)
+	*e = newEntry
 	stNow := &d.stripes[stripeID]
 	stNow.Parity = newParity
 	if shardLen > 0 {
@@ -321,6 +334,7 @@ func (d *Distributor) UpdateChunk(client, password, filename string, serial int,
 	// generations are already unreachable and age out.
 	d.cache.remove(cacheKey{fid: fe.FID, serial: serial, gen: fileGen})
 	d.counters.updates.Add(1)
+	d.maybeCheckpointLocked()
 	d.mu.Unlock()
 
 	// Retire the superseded generation, best-effort: every blob is

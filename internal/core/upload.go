@@ -295,6 +295,22 @@ func (d *Distributor) Upload(client, password, filename string, data []byte, pl 
 	for serial := range fe.ChunkIdx {
 		fe.ChunkIdx[serial] += base
 	}
+	// Durability point: the commit record must be on the log before the
+	// rows become visible. A failed append aborts like a failed ship —
+	// staging withdrawn, stored blobs rolled back, no trace.
+	rec := &walRecord{
+		Op: "upload", Client: client, Filename: filename,
+		FID: fe.FID, PL: pl, Raid: level,
+		ChunksBase: base, StripesBase: sbase,
+		Chunks: newChunks, Stripes: newStripes, ChunkIdx: fe.ChunkIdx,
+		FileGen: fe.Gen, ClientGen: c.Gen + 1, Gen: d.gen + 1,
+	}
+	if err := d.logAppendLocked(rec); err != nil {
+		abortLocked()
+		d.mu.Unlock()
+		d.rollbackStored(shardsStored(shards))
+		return FileInfo{}, fmt.Errorf("core: upload aborted: %w", err)
+	}
 	d.chunks = append(d.chunks, newChunks...)
 	d.stripes = append(d.stripes, newStripes...)
 	d.commitTicketLocked(t)
@@ -304,6 +320,7 @@ func (d *Distributor) Upload(client, password, filename string, data []byte, pl 
 	c.Gen++
 	d.gen++
 	d.counters.uploads.Add(1)
+	d.maybeCheckpointLocked()
 	d.mu.Unlock()
 
 	return FileInfo{Filename: filename, PL: pl, Chunks: len(chunks), Raid: level, Bytes: len(data)}, nil

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/mislead"
+	"repro/internal/privacy"
+	"repro/internal/raid"
+)
+
+// codecChunk builds a chunkEntry exercising every field, including the
+// -1 sentinels and a nil-vs-empty distinction on EncKey/Mirrors.
+func codecChunk(i int) chunkEntry {
+	c := chunkEntry{
+		VirtualID:  "vid-abc",
+		PL:         privacy.High,
+		CPIndex:    3,
+		SPIndex:    -1,
+		Mislead:    mislead.Injection{Positions: []int{1, 7, 19}},
+		Client:     "alice",
+		Filename:   "f",
+		Serial:     i,
+		PayloadLen: 16384,
+		DataLen:    16000,
+		EncKey:     []byte{9, 8, 7},
+		StripeID:   -1,
+		SnapVID:    "snap-1",
+		Mirrors:    []mirrorRef{{VirtualID: "m0", CPIndex: 1}, {VirtualID: "m1", CPIndex: 5}},
+	}
+	for j := range c.Sum {
+		c.Sum[j] = byte(i + j)
+	}
+	if i%2 == 0 {
+		c.EncKey = nil
+		c.Mirrors = nil
+		c.Mislead.Positions = nil
+		c.SPIndex = 4
+		c.StripeID = 2
+	}
+	return c
+}
+
+func TestWALRecordRoundTrip(t *testing.T) {
+	recs := []walRecord{
+		{Op: "register", Client: "alice", Gen: 1, ClientGen: 1},
+		{
+			Op: "upload", Gen: 42, FIDSeq: 17, EncNonce: 99, VIDCtr: 1 << 40,
+			Client: "alice", Filename: "f", FID: 17, PL: privacy.High,
+			Raid: raid.RAID6, ChunksBase: 10, StripesBase: 2,
+			Chunks:   []chunkEntry{codecChunk(0), codecChunk(1)},
+			Stripes:  []stripeEntry{{ID: 2, Level: raid.RAID6, ShardLen: 512, Members: []int{10, 11}, Parity: []parityShard{{VirtualID: "p0", CPIndex: 6}}}},
+			ChunkIdx: []int{10, 11}, FileGen: 1, ClientGen: 3,
+		},
+		{
+			Op: "update", Gen: 43, Client: "alice", Filename: "f", Serial: 1,
+			StripeID: 2, Chunk: codecChunk(3),
+			Parity: []parityShard{}, Members: []int{}, ChunkIdx: []int{},
+			ShardLen: 768, FileGen: 2, ClientGen: 3,
+		},
+		{Op: "move_parity", Gen: 44, TableIdx: 2, SubIdx: 1, NewProv: 7, NewVID: "nv"},
+	}
+	for _, want := range recs {
+		enc := encodeWALRecord(&want)
+		var got walRecord
+		if err := decodeWALRecord(enc, &got); err != nil {
+			t.Fatalf("op %s: decode: %v", want.Op, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("op %s: round trip mismatch:\n got %+v\nwant %+v", want.Op, got, want)
+		}
+	}
+}
+
+func TestWALStateRoundTrip(t *testing.T) {
+	want := walState{
+		Clients: map[string]*clientEntry{
+			"alice": {
+				Name:      "alice",
+				Passwords: map[string]privacy.Level{"h1": privacy.High, "h2": privacy.Low},
+				Files: map[string]*fileEntry{
+					"f": {Filename: "f", PL: privacy.High, FID: 3, ChunkIdx: []int{0, 1}, Raid: raid.RAID5, Gen: 2},
+				},
+				Count: 2, Gen: 4,
+			},
+			"bob": {Name: "bob", Passwords: map[string]privacy.Level{}, Files: map[string]*fileEntry{}},
+		},
+		Chunks:  []chunkEntry{codecChunk(0), codecChunk(1), codecChunk(2)},
+		Stripes: []stripeEntry{{ID: 0, Level: raid.RAID5, ShardLen: 64, Members: []int{0, 1}, Parity: []parityShard{{VirtualID: "p", CPIndex: 2}}}},
+		Gen:     9, FIDSeq: 4, EncNonce: 11, VIDCtr: 1 << 33,
+	}
+	enc := encodeWALState(&want)
+	var got walState
+	if err := decodeWALState(enc, &got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// Map iteration order must not leak into the encoding.
+	if enc2 := encodeWALState(&want); string(enc) != string(enc2) {
+		t.Error("encoding the same state twice produced different bytes")
+	}
+}
+
+// TestWALCodecStrictness drives the decoder with malformed inputs: every
+// one must fail with a walcodec error, and a huge claimed length must be
+// rejected before it allocates.
+func TestWALCodecStrictness(t *testing.T) {
+	good := encodeWALRecord(&walRecord{Op: "register", Client: "alice", Gen: 1})
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad version":    append([]byte{walCodecVersion + 1}, good[1:]...),
+		"truncated":      good[:len(good)/2],
+		"trailing bytes": append(append([]byte{}, good...), 0),
+	}
+	// A record whose Chunks collection claims ~2^60 elements: the count
+	// guard must reject it against the remaining input, not allocate.
+	huge := []byte{walCodecVersion}
+	huge = append(huge, 2, 'o', 'p')         // Op
+	huge = appendUvarints(huge, 0, 0, 0, 0)  // watermarks
+	huge = append(huge, 0, 0, 0)             // Client, Filename, PassHash
+	huge = append(huge, 0)                   // PassPL
+	huge = append(huge, 0)                   // FID
+	huge = append(huge, 0, 0, 0, 0)          // PL, Raid, ChunksBase, StripesBase
+	huge = binary.AppendUvarint(huge, 1<<60) // Chunks length+1
+	for name, data := range map[string][]byte{"huge collection": huge} {
+		cases[name] = data
+	}
+	for name, data := range cases {
+		var rec walRecord
+		err := decodeWALRecord(data, &rec)
+		if err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "walcodec") {
+			t.Errorf("%s: error %q does not name the codec", name, err)
+		}
+	}
+}
+
+func appendUvarints(b []byte, vs ...uint64) []byte {
+	for _, v := range vs {
+		b = binary.AppendUvarint(b, v)
+	}
+	return b
+}

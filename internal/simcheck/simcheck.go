@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/privacy"
 	"repro/internal/provider"
 	"repro/internal/raid"
+	"repro/internal/wal"
 )
 
 // Config parameterizes one simulation run. The run is a pure function
@@ -53,10 +55,25 @@ type Config struct {
 	// stays repairable (the next scrub must heal all of them).
 	RotPerCheckpoint int
 
+	// RestartEvery crashes the distributor (power-loss semantics: no
+	// drain, no final checkpoint) every that many ops and re-opens it
+	// from its WAL directory, then runs a full oracle checkpoint against
+	// the recovered state. 0 disables restarts. A non-zero value makes
+	// the run durable: it opens a WAL in a per-run temp directory at
+	// SyncAlways (grouped sync flushes on a wall-clock timer, which
+	// would break trace determinism).
+	RestartEvery int
+
 	// BugDropDeletes plants a rollback bug: every provider delete is
 	// acknowledged but silently dropped, leaving orphans the bookkeeping
 	// cannot explain. Used to prove the orphan invariant has teeth.
 	BugDropDeletes bool
+	// BugLoseLastCommit plants the classic lost-commit bug: WAL records
+	// are acknowledged at SyncAlways but never actually fsynced, so a
+	// crash silently forgets acknowledged commits. The post-recovery
+	// oracle checkpoint must catch it (generation going backwards / the
+	// file set diverging from the model). Implies a durable run.
+	BugLoseLastCommit bool
 	// DarkProvider ports internal/sim's sustained-outage scenario:
 	// provider 0 stays up but fails every data-plane op for the whole
 	// run, so failover and circuit breaking carry the workload.
@@ -88,12 +105,22 @@ func DefaultConfig(seed int64) Config {
 	return cfg
 }
 
+// DefaultCrashConfig is DefaultConfig plus a seed-derived crash-restart
+// cadence, so a sweep exercises different (restart × checkpoint × fault
+// window) phase alignments.
+func DefaultCrashConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.RestartEvery = 30 + int(seed%7)*5
+	return cfg
+}
+
 // Result summarizes a completed run.
 type Result struct {
 	Seed        int64
 	Ops         int
 	TraceHash   string
 	Checkpoints int
+	Restarts    int // crash-restart cycles survived
 
 	UploadsAttempted int
 	UploadsOK        int
@@ -118,13 +145,18 @@ type Violation struct {
 	Op        int
 	Invariant string
 	Detail    string
+	Repro     string   // test to replay this schedule under (default TestSimCheck$)
 	Trace     []string // tail of the op/fault trace
 }
 
 func (v *Violation) Error() string {
+	run := v.Repro
+	if run == "" {
+		run = "TestSimCheck$"
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "simcheck: invariant %q violated at op %d: %s\n", v.Invariant, v.Op, v.Detail)
-	fmt.Fprintf(&b, "repro: go test ./internal/simcheck -run 'TestSimCheck$' -seed=%d -ops=%d", v.Seed, v.Ops)
+	fmt.Fprintf(&b, "repro: go test ./internal/simcheck -run '%s' -seed=%d -ops=%d", run, v.Seed, v.Ops)
 	if len(v.Trace) > 0 {
 		fmt.Fprintf(&b, "\ntrace tail:\n  %s", strings.Join(v.Trace, "\n  "))
 	}
@@ -133,17 +165,18 @@ func (v *Violation) Error() string {
 
 // runner holds one run's moving parts.
 type runner struct {
-	cfg    Config
-	d      *core.Distributor
-	fleet  *provider.Fleet
-	hooked []*provider.Hooked
-	provPL []privacy.Level
-	inj    *injector
-	m      *model
-	tr     *trace
-	rng    *rand.Rand // workload stream, independent of the injector's
-	tick   func(time.Duration)
-	res    Result
+	cfg     Config
+	d       *core.Distributor
+	rebuild func() (*core.Distributor, error) // re-open from the WAL dir
+	fleet   *provider.Fleet
+	hooked  []*provider.Hooked
+	provPL  []privacy.Level
+	inj     *injector
+	m       *model
+	tr      *trace
+	rng     *rand.Rand // workload stream, independent of the injector's
+	tick    func(time.Duration)
+	res     Result
 
 	nameSeq int
 	clients []string
@@ -171,8 +204,9 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	tr := newTrace()
-	tr.addf("simcheck seed=%d ops=%d providers=%d cache=%d dark=%v bug=%v",
-		cfg.Seed, cfg.Ops, cfg.Providers, cfg.CacheBytes, cfg.DarkProvider, cfg.BugDropDeletes)
+	tr.addf("simcheck seed=%d ops=%d providers=%d cache=%d dark=%v bug=%v restart=%d lostcommit=%v",
+		cfg.Seed, cfg.Ops, cfg.Providers, cfg.CacheBytes, cfg.DarkProvider, cfg.BugDropDeletes,
+		cfg.RestartEvery, cfg.BugLoseLastCommit)
 
 	fleet, err := provider.NewFleet()
 	if err != nil {
@@ -207,23 +241,42 @@ func Run(cfg Config) (Result, error) {
 	tick := func(delta time.Duration) { vnow.Add(int64(delta)) }
 	inj := newInjector(cfg, cfg.Seed^0x5eedfa17, tr, tick, hooked)
 
-	d, err := core.New(core.Config{
-		Fleet:       fleet,
-		StripeWidth: 3,
-		Parallelism: 1, // sequential provider I/O: determinism anchor
-		Secret:      []byte("simcheck-prf-secret"),
-		MisleadSeed: cfg.Seed,
-		CacheBytes:  cfg.CacheBytes,
-		Health: health.Config{
-			Cooldown: 8 * time.Millisecond,
-			Clock:    func() time.Time { return time.Unix(0, vnow.Load()) },
-		},
-	})
+	// A crash-restart run is durable: the WAL lives in a per-run temp
+	// directory and every restart re-opens it against the same fleet and
+	// the same virtual clock.
+	walDir := ""
+	if cfg.RestartEvery > 0 || cfg.BugLoseLastCommit {
+		dir, err := os.MkdirTemp("", "simcheck-wal-")
+		if err != nil {
+			return Result{}, err
+		}
+		defer os.RemoveAll(dir)
+		walDir = dir
+	}
+	build := func() (*core.Distributor, error) {
+		return core.New(core.Config{
+			Fleet:       fleet,
+			StripeWidth: 3,
+			Parallelism: 1, // sequential provider I/O: determinism anchor
+			Secret:      []byte("simcheck-prf-secret"),
+			MisleadSeed: cfg.Seed,
+			CacheBytes:  cfg.CacheBytes,
+			Health: health.Config{
+				Cooldown: 8 * time.Millisecond,
+				Clock:    func() time.Time { return time.Unix(0, vnow.Load()) },
+			},
+			WALDir:         walDir,
+			WALSync:        wal.SyncAlways, // grouped flushes on wall-clock: nondeterministic
+			SnapshotEvery:  64,
+			WALBugSkipSync: cfg.BugLoseLastCommit,
+		})
+	}
+	d, err := build()
 	if err != nil {
 		return Result{}, err
 	}
 	r := &runner{
-		cfg: cfg, d: d, fleet: fleet, hooked: hooked, provPL: provPL,
+		cfg: cfg, d: d, rebuild: build, fleet: fleet, hooked: hooked, provPL: provPL,
 		inj: inj, m: newModel(), tr: tr,
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 		tick: tick,
@@ -240,6 +293,18 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	for i := 0; i < cfg.Ops; i++ {
+		if cfg.RestartEvery > 0 && i > 0 && i%cfg.RestartEvery == 0 {
+			if v := r.restart(i); v != nil {
+				r.finish()
+				return r.res, v
+			}
+			// Every invariant must hold against the freshly recovered
+			// state before the workload resumes.
+			if v := r.checkpoint(i); v != nil {
+				r.finish()
+				return r.res, v
+			}
+		}
 		inj.atOp(i)
 		if v := r.step(i); v != nil {
 			r.finish()
@@ -260,6 +325,29 @@ func Run(cfg Config) (Result, error) {
 	}
 	r.finish()
 	return r.res, nil
+}
+
+// restart drops the live distributor the way a power loss would and
+// re-opens it from the WAL directory. The fleet, its blobs and the
+// virtual clock survive (providers are remote machines); everything the
+// distributor held in memory must come back from the log.
+func (r *runner) restart(i int) *Violation {
+	r.inj.suspend()
+	defer r.inj.resume()
+	r.tr.addf("op=%d crash-restart", i)
+	if err := r.d.Crash(); err != nil {
+		return r.violation(i, "recovery", fmt.Sprintf("Crash: %v", err))
+	}
+	d2, err := r.rebuild()
+	if err != nil {
+		return r.violation(i, "recovery", fmt.Sprintf("re-open after crash: %v", err))
+	}
+	r.d = d2
+	r.res.Restarts++
+	st := d2.Metrics().WAL
+	r.tr.addf("op=%d recovered snapshot=%v replayed=%d torn=%v orphans=%d",
+		i, st.RecoveredSnapshot, st.Replayed, st.TailTruncated, st.RecoveryOrphans)
+	return nil
 }
 
 func (r *runner) finish() {
@@ -471,6 +559,9 @@ func (r *runner) violation(op int, invariant, detail string) *Violation {
 		Seed: r.cfg.Seed, Ops: r.cfg.Ops, Op: op,
 		Invariant: invariant, Detail: detail,
 		Trace: r.tr.tail(25),
+	}
+	if r.cfg.RestartEvery > 0 || r.cfg.BugLoseLastCommit {
+		v.Repro = "TestSimCheckCrashRestart"
 	}
 	r.tr.addf("VIOLATION op=%d %s: %s", op, invariant, detail)
 	return v

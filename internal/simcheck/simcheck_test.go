@@ -90,6 +90,97 @@ func TestSimCheck(t *testing.T) {
 	}
 }
 
+// TestSimCheckCrashRestart sweeps seeded fault schedules with periodic
+// distributor crashes: the process dies without warning (no drain, no
+// final checkpoint), re-opens from its WAL directory, and every oracle
+// invariant must hold against the recovered state. Reproduce a failure
+// with the printed repro line, e.g.
+//
+//	go test ./internal/simcheck -run 'TestSimCheckCrashRestart' -seed=7 -ops=300
+func TestSimCheckCrashRestart(t *testing.T) {
+	if *flagSeed != 0 {
+		cfg := DefaultCrashConfig(*flagSeed)
+		if *flagOps > 0 {
+			cfg.Ops = *flagOps
+		}
+		res := runSeed(t, cfg)
+		t.Logf("seed=%d trace=%s restarts=%d uploads=%d/%d reads=%d/%d",
+			res.Seed, res.TraceHash[:16], res.Restarts, res.UploadsOK, res.UploadsAttempted,
+			res.ReadsOK, res.ReadsAttempted)
+		return
+	}
+	seeds := *flagSeeds
+	if seeds == 0 {
+		seeds = 32
+		if testing.Short() {
+			seeds = 8
+		}
+	}
+	for s := int64(1); s <= int64(seeds); s++ {
+		s := s
+		t.Run(fmt.Sprintf("seed=%d", s), func(t *testing.T) {
+			cfg := DefaultCrashConfig(s)
+			if *flagOps > 0 {
+				cfg.Ops = *flagOps
+			}
+			res := runSeed(t, cfg)
+			if res.Restarts == 0 {
+				t.Fatalf("seed %d: no crash-restart cycle ran", s)
+			}
+			if res.UploadsOK == 0 {
+				t.Fatalf("seed %d: no upload ever succeeded (%d attempted)", s, res.UploadsAttempted)
+			}
+			if res.Checkpoints == 0 {
+				t.Fatalf("seed %d: no checkpoint ran", s)
+			}
+			if !res.Metrics.WAL.Enabled {
+				t.Fatalf("seed %d: crash-restart run was not durable", s)
+			}
+		})
+	}
+}
+
+// TestSimCheckCrashRestartDeterministic demands that a durable run —
+// including its recovery traces — replays bit-identically, so the
+// crash-restart repro line is honest.
+func TestSimCheckCrashRestartDeterministic(t *testing.T) {
+	cfg := DefaultCrashConfig(5)
+	cfg.Ops = 240
+	a := runSeed(t, cfg)
+	b := runSeed(t, cfg)
+	if a.TraceHash != b.TraceHash {
+		t.Fatalf("trace hashes differ across identical crash-restart runs: %s vs %s", a.TraceHash, b.TraceHash)
+	}
+	if a != b {
+		t.Fatalf("results differ across identical crash-restart runs:\n  %+v\n  %+v", a, b)
+	}
+	if a.Restarts == 0 {
+		t.Fatal("no restart ran; determinism check is vacuous")
+	}
+}
+
+// TestSimCheckCatchesLostCommit plants the classic lost-commit bug —
+// the WAL acknowledges records at SyncAlways without fsyncing them, so
+// a crash forgets acknowledged commits — and requires the post-recovery
+// oracle checkpoint to catch it with a crash-restart repro line.
+func TestSimCheckCatchesLostCommit(t *testing.T) {
+	cfg := DefaultCrashConfig(2)
+	cfg.Ops = 200
+	cfg.BugLoseLastCommit = true
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("a run that loses every acknowledged commit on crash passed the oracle — recovery checking has no teeth")
+	}
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("expected a *Violation, got %T: %v", err, err)
+	}
+	if !strings.Contains(err.Error(), "TestSimCheckCrashRestart") {
+		t.Fatalf("violation carries no crash-restart repro line: %v", err)
+	}
+	t.Logf("planted lost-commit bug caught (invariant %q): %s", v.Invariant, strings.SplitN(err.Error(), "\n", 2)[0])
+}
+
 // TestSimCheckDeterministic runs the same config twice and demands an
 // identical op/fault trace: the repro line is only honest if a seed
 // replays the run exactly.

@@ -322,12 +322,15 @@ func (s *DistributorServer) metrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 // healthDTO is the GET /v1/health body: overall status, the
-// per-provider circuit-breaker view, and the chunk-cache counters
-// (hits/misses/evictions/bytes; capacity 0 means caching is disabled).
+// per-provider circuit-breaker view, the chunk-cache counters
+// (hits/misses/evictions/bytes; capacity 0 means caching is disabled),
+// and the durability view (records appended, fsyncs, replay count and
+// last-checkpoint age; enabled=false means in-memory metadata).
 type healthDTO struct {
 	Status    string                `json:"status"`
 	Providers []core.ProviderHealth `json:"providers"`
 	Cache     core.CacheStats       `json:"cache"`
+	WAL       core.WALHealth        `json:"wal"`
 }
 
 func (s *DistributorServer) health(w http.ResponseWriter, _ *http.Request) {
@@ -339,5 +342,5 @@ func (s *DistributorServer) health(w http.ResponseWriter, _ *http.Request) {
 			break
 		}
 	}
-	writeJSON(w, healthDTO{Status: status, Providers: provs, Cache: s.d.CacheHealth()})
+	writeJSON(w, healthDTO{Status: status, Providers: provs, Cache: s.d.CacheHealth(), WAL: s.d.WALHealth()})
 }

@@ -1,0 +1,382 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Log, Recovered) {
+	t.Helper()
+	l, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return l, rec
+}
+
+func payloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("record-%04d-%s", i, string(bytes.Repeat([]byte{byte(i)}, i%97))))
+	}
+	return out
+}
+
+func TestRoundtripPerPolicy(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncAlways, SyncGrouped, SyncOff} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l, rec := mustOpen(t, dir, Options{Policy: pol})
+			if rec.Snapshot != nil || len(rec.Records) != 0 {
+				t.Fatalf("fresh dir recovered state: %+v", rec)
+			}
+			want := payloads(40)
+			for _, p := range want {
+				if err := l.Append(p); err != nil {
+					t.Fatalf("Append: %v", err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			// A graceful close flushes under every policy.
+			l2, rec2 := mustOpen(t, dir, Options{Policy: pol})
+			defer l2.Close()
+			if len(rec2.Records) != len(want) {
+				t.Fatalf("recovered %d records, want %d", len(rec2.Records), len(want))
+			}
+			for i, p := range want {
+				if !bytes.Equal(rec2.Records[i], p) {
+					t.Fatalf("record %d mismatch", i)
+				}
+			}
+			if rec2.TailTruncated {
+				t.Fatal("clean log reported a torn tail")
+			}
+		})
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"always": SyncAlways, "Grouped": SyncGrouped, " off ": SyncOff,
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("ParseSyncPolicy accepted garbage")
+	}
+}
+
+func TestCheckpointRotatesAndPurges(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Policy: SyncAlways})
+	for _, p := range payloads(10) {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Checkpoint([]byte("state-at-10")); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	for _, p := range payloads(3) {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.NextLSN != 13 || st.SegmentBase != 10 || st.SinceCheckpoint != 3 {
+		t.Fatalf("stats after rotate: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := Inspect(dir)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if len(info.Segments) != 1 || info.Segments[0].Base != 10 || info.Segments[0].Records != 3 {
+		t.Fatalf("segments after purge: %+v", info.Segments)
+	}
+	if len(info.Snapshots) != 1 || info.Snapshots[0].LSN != 10 {
+		t.Fatalf("snapshots after purge: %+v", info.Snapshots)
+	}
+
+	_, rec := mustOpen(t, dir, Options{Policy: SyncAlways})
+	if string(rec.Snapshot) != "state-at-10" || rec.SnapshotLSN != 10 || len(rec.Records) != 3 {
+		t.Fatalf("recovered: snap=%q lsn=%d records=%d", rec.Snapshot, rec.SnapshotLSN, len(rec.Records))
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Policy: SyncAlways})
+	want := payloads(5)
+	for _, p := range want {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "wal-0000000000000000.log")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write: a frame header claiming more bytes than follow.
+	torn := append(append([]byte{}, data...), 0xff, 0x00, 0x00, 0x00, 1, 2, 3)
+	if err := os.WriteFile(seg, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// ReadAll reports without repairing.
+	ra, err := ReadAll(dir)
+	if err != nil {
+		t.Fatalf("ReadAll on torn tail: %v", err)
+	}
+	if !ra.TailTruncated || len(ra.Records) != 5 {
+		t.Fatalf("ReadAll: torn=%v records=%d", ra.TailTruncated, len(ra.Records))
+	}
+	if fi, _ := os.Stat(seg); fi.Size() != int64(len(torn)) {
+		t.Fatal("ReadAll mutated the segment")
+	}
+
+	// Open truncates and the log is appendable again.
+	l2, rec := mustOpen(t, dir, Options{Policy: SyncAlways})
+	if !rec.TailTruncated || len(rec.Records) != 5 {
+		t.Fatalf("Open: torn=%v records=%d", rec.TailTruncated, len(rec.Records))
+	}
+	if fi, _ := os.Stat(seg); fi.Size() != int64(len(data)) {
+		t.Fatalf("torn bytes not truncated: %d != %d", fi.Size(), len(data))
+	}
+	if err := l2.Append([]byte("after-repair")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec3 := mustOpen(t, dir, Options{Policy: SyncAlways})
+	if len(rec3.Records) != 6 || string(rec3.Records[5]) != "after-repair" {
+		t.Fatalf("post-repair replay: %d records", len(rec3.Records))
+	}
+}
+
+func TestMidLogCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Policy: SyncAlways})
+	for _, p := range payloads(8) {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "wal-0000000000000000.log")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte in the middle of the file: the frame is
+	// complete, so this is corruption, not a torn tail.
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(dir, Options{Policy: SyncAlways})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on corrupt mid-log record: %v", err)
+	}
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("CRC")) {
+		t.Fatalf("error does not name the CRC failure: %v", err)
+	}
+	if _, err := ReadAll(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadAll on corrupt record: %v", err)
+	}
+}
+
+func TestCorruptSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Policy: SyncAlways})
+	if err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint([]byte("good-state")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, "snap-0000000000000001.ckpt")
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{Policy: SyncAlways}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on corrupt snapshot: %v", err)
+	}
+}
+
+func TestBrokenChainRejected(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteRawSegment(dir, 0, [][]byte{[]byte("a"), []byte("b")}); err != nil {
+		t.Fatal(err)
+	}
+	// Next segment claims base 5 but only 2 records precede it.
+	if _, err := WriteRawSegment(dir, 5, [][]byte{[]byte("c")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{Policy: SyncAlways}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on broken chain: %v", err)
+	}
+}
+
+func TestCrashDropsUnsyncedRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Policy: SyncOff})
+	if err := l.Append([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("volatile-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("volatile-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := mustOpen(t, dir, Options{Policy: SyncOff})
+	if len(rec.Records) != 1 || string(rec.Records[0]) != "durable" {
+		t.Fatalf("crash kept unsynced records: %d recovered", len(rec.Records))
+	}
+}
+
+func TestSyncAlwaysSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Policy: SyncAlways})
+	want := payloads(7)
+	for _, p := range want {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := mustOpen(t, dir, Options{Policy: SyncAlways})
+	if len(rec.Records) != len(want) {
+		t.Fatalf("SyncAlways lost records across a crash: %d of %d", len(rec.Records), len(want))
+	}
+}
+
+func TestBugSkipSyncLosesAcknowledgedRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Policy: SyncAlways, BugSkipSync: true})
+	for _, p := range payloads(7) {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := mustOpen(t, dir, Options{Policy: SyncAlways})
+	if len(rec.Records) != 0 {
+		t.Fatalf("planted BugSkipSync still recovered %d records", len(rec.Records))
+	}
+}
+
+func TestGroupedFlusherMakesRecordsDurable(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Policy: SyncGrouped, GroupInterval: time.Millisecond})
+	if err := l.Append([]byte("grouped-record")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("grouped flusher never synced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := mustOpen(t, dir, Options{Policy: SyncGrouped})
+	if len(rec.Records) != 1 {
+		t.Fatalf("flushed record lost across crash: %d recovered", len(rec.Records))
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Policy: SyncOff})
+	defer l.Close()
+	if err := l.Append(make([]byte, maxRecord+1)); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+}
+
+func TestClosedLogRejectsOps(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Policy: SyncOff})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close: %v", err)
+	}
+	if err := l.Checkpoint([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Checkpoint after Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestInspectTornTailReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteRawSegment(dir, 0, [][]byte{[]byte("ok")}); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "wal-0000000000000000.log")
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 0, 0}); err != nil { // short frame header
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.Stat(seg)
+	info, err := Inspect(dir)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if len(info.Segments) != 1 || !info.Segments[0].TornTail || info.Segments[0].Records != 1 {
+		t.Fatalf("Inspect torn tail: %+v", info.Segments)
+	}
+	after, _ := os.Stat(seg)
+	if before.Size() != after.Size() {
+		t.Fatal("Inspect mutated the segment")
+	}
+}
