@@ -4,6 +4,8 @@
 #   make test             plain test run
 #   make fuzz             short randomized fuzzing of the codec layers
 #   FUZZTIME=30s make fuzz  longer fuzz budget
+#   make loadbench        warp-class mixed-workload load benchmark
+#   make bench-loadsmoke  CI load smoke: short strict cloudbench run
 #   make simcheck         tier-2: deterministic fault-schedule simulation
 #   SIMCHECK_SEEDS=64 SIMCHECK_OPS=600 make simcheck  bigger sweep
 #   make walcheck         crash-restart recovery sweep (WAL durability)
@@ -12,10 +14,17 @@ GO        ?= go
 FUZZTIME  ?= 5s
 SIMCHECK_SEEDS ?= 32
 SIMCHECK_OPS   ?= 0
-BENCHOUT  ?= BENCH_6.json
+# The bench trajectory point: BENCH_<n>.json where n is one past the
+# highest index already recorded, so a fresh `make bench`/`make loadbench`
+# never silently overwrites the previous PR's numbers. Override with
+# BENCHOUT=... to deliberately re-record a point.
+BENCHOUT  ?= $(shell ls BENCH_*.json 2>/dev/null | sed -n 's/^BENCH_\([0-9][0-9]*\)\.json$$/\1/p' | sort -n | tail -1 | { read n; echo BENCH_$$((n+1)).json; })
 BENCHTIME ?= 1s
+LOADDUR   ?= 12s
+LOADWARM  ?= 2s
+LOADWORKERS ?= 8
 
-.PHONY: check build vet test race fuzz fmt bench bench-smoke simcheck simcheck-short walcheck walcheck-race
+.PHONY: check build vet test race fuzz fmt bench bench-smoke loadbench bench-loadsmoke simcheck simcheck-short walcheck walcheck-race
 
 check: vet build race fuzz
 
@@ -54,6 +63,21 @@ bench:
 # and executes without spending CI minutes on stable numbers.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./internal/raid ./internal/core | $(GO) run ./cmd/benchjson -out /dev/null
+
+# Warp-class mixed-workload load benchmark (cmd/cloudbench) against an
+# in-process networked fleet; latency percentiles and the throughput
+# timeline merge into $(BENCHOUT) as the "load" record.
+loadbench:
+	$(GO) run ./cmd/cloudbench -local-providers 6 -workers $(LOADWORKERS) \
+		-duration $(LOADDUR) -warmup $(LOADWARM) -seed 7 -out cloudbench.out.json
+	$(GO) run ./cmd/benchjson -load cloudbench.out.json -out $(BENCHOUT) < /dev/null
+	@rm -f cloudbench.out.json
+
+# CI smoke: a few seconds of mixed load against the in-process fleet;
+# strict mode fails the target on any op error.
+bench-loadsmoke:
+	$(GO) run ./cmd/cloudbench -local-providers 5 -workers 4 -tenants 2 -keys 8 \
+		-duration 3s -warmup 500ms -strict -out /dev/null
 
 # Tier-2 gate: seeded fault-schedule simulation against the invariant
 # oracle (internal/simcheck). Every failure prints a one-line repro:

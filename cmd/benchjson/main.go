@@ -11,7 +11,14 @@
 //   - baseline_speedups: current numbers vs the recorded
 //     pre-optimization baselines of the data-plane fast-path work.
 //
+// With -load it additionally embeds a cmd/cloudbench mixed-workload
+// report (latency percentiles + throughput timeline) as the "load"
+// record, so load-harness runs land in the same BENCH_N.json trajectory
+// as the microbenchmarks.
+//
 // Usage: go test -bench . -benchmem ./... | benchjson -out BENCH.json
+//
+//	benchjson -load cloudbench.json -out BENCH.json < /dev/null
 package main
 
 import (
@@ -23,6 +30,8 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"repro/internal/loadreport"
 )
 
 // result is one benchmark's aggregated numbers.
@@ -89,6 +98,23 @@ type report struct {
 	WALOverheads     map[string]float64  `json:"wal_overheads"`
 	BaselineSpeedups map[string]float64  `json:"baseline_speedups"`
 	Baselines        map[string]baseline `json:"baselines"`
+	Load             *loadreport.Report  `json:"load,omitempty"`
+}
+
+// readLoad parses a cmd/cloudbench report for embedding.
+func readLoad(path string) (*loadreport.Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var lr loadreport.Report
+	if err := json.Unmarshal(raw, &lr); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if lr.Schema != loadreport.Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, lr.Schema, loadreport.Schema)
+	}
+	return &lr, nil
 }
 
 // benchLine matches one `go test -bench` result line, with the optional
@@ -98,7 +124,17 @@ var benchLine = regexp.MustCompile(
 
 func main() {
 	out := flag.String("out", "", "write the JSON report to this file ('' or '-' = stdout)")
+	loadPath := flag.String("load", "", "embed this cloudbench JSON report as the load record")
 	flag.Parse()
+
+	var load *loadreport.Report
+	if *loadPath != "" {
+		var err error
+		if load, err = readLoad(*loadPath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: load report:", err)
+			os.Exit(1)
+		}
+	}
 
 	results := make(map[string]result)
 	sc := bufio.NewScanner(os.Stdin)
@@ -130,12 +166,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
 		os.Exit(1)
 	}
-	if len(results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+	if len(results) == 0 && load == nil {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin and no -load report")
 		os.Exit(1)
 	}
 
 	rep := report{
+		Load:             load,
 		Results:          results,
 		KernelSpeedups:   make(map[string]float64),
 		TailSpeedups:     make(map[string]float64),
@@ -203,6 +240,22 @@ func main() {
 	}
 	for n, x := range rep.BaselineSpeedups {
 		fmt.Printf("  vs-seed %-55s %.2fx\n", shortName(n), x)
+	}
+	if rep.Load != nil {
+		for _, name := range []string{"put", "get", "range", "update", "remove", "total"} {
+			o, ok := rep.Load.Ops[name]
+			if name == "total" {
+				o, ok = rep.Load.Total, true
+			}
+			if !ok {
+				continue
+			}
+			fmt.Printf("  load    %-7s p50 %8.2fms  p99 %8.2fms  p99.9 %8.2fms  %8.1f ops/s  %7.2f MB/s\n",
+				name, o.P50ms, o.P99ms, o.P999ms, o.OpsPerS, o.MBPerS)
+		}
+		if rep.Load.Errors > 0 {
+			fmt.Printf("  load    %d op errors\n", rep.Load.Errors)
+		}
 	}
 }
 

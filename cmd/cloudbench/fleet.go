@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/privacy"
+	"repro/internal/provider"
+	"repro/internal/transport"
+)
+
+// startLocalFleet stands up n provider HTTP servers and one distributor
+// HTTP server on loopback — real sockets, real transport, same wire path
+// as a multi-host deployment — and returns the distributor's base URL
+// plus a shutdown function. The distributor reaches its providers
+// through RemoteProvider clients, so the measured stack is the full
+// networked architecture, not an in-process shortcut.
+func startLocalFleet(n int, provLatency time.Duration, cacheBytes int64, hedgeAfter time.Duration) (string, func(), error) {
+	var servers []*http.Server
+	shutdown := func() {
+		for _, s := range servers {
+			_ = s.Close()
+		}
+	}
+	// One pooled transport for all distributor→provider connections; the
+	// default transport's 2 idle conns per host would throttle fan-out.
+	providerHTTP := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 256,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+
+	fleet, err := provider.NewFleet()
+	if err != nil {
+		return "", nil, err
+	}
+	for i := 0; i < n; i++ {
+		opts := provider.Options{}
+		if provLatency > 0 {
+			opts.Latency = provider.LatencyModel{PerOp: provLatency}
+			opts.Sleep = time.Sleep
+		}
+		mem, err := provider.New(provider.Info{
+			Name: fmt.Sprintf("bench%02d", i),
+			PL:   privacy.High,
+			CL:   privacy.CostLevel(i % 4),
+		}, opts)
+		if err != nil {
+			shutdown()
+			return "", nil, err
+		}
+		url, srv, err := serveLoopback(transport.NewProviderServer(mem))
+		if err != nil {
+			shutdown()
+			return "", nil, err
+		}
+		servers = append(servers, srv)
+		remote, err := transport.DialProvider(url, providerHTTP)
+		if err != nil {
+			shutdown()
+			return "", nil, err
+		}
+		if err := fleet.Add(remote); err != nil {
+			shutdown()
+			return "", nil, err
+		}
+	}
+
+	dist, err := core.New(core.Config{
+		Fleet:      fleet,
+		CacheBytes: cacheBytes,
+		HedgeAfter: hedgeAfter,
+	})
+	if err != nil {
+		shutdown()
+		return "", nil, err
+	}
+	url, srv, err := serveLoopback(transport.NewDistributorServer(dist))
+	if err != nil {
+		shutdown()
+		return "", nil, err
+	}
+	servers = append(servers, srv)
+	return url, shutdown, nil
+}
+
+// serveLoopback binds a handler to an ephemeral loopback port.
+func serveLoopback(h http.Handler) (string, *http.Server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), srv, nil
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/loadreport"
+	"repro/internal/metrics"
+)
+
+// timeline accumulates whole-run throughput per fixed interval. Workers
+// hit it on every op completion, so the buckets are lock-free atomics.
+type timeline struct {
+	start    time.Time
+	interval time.Duration
+	buckets  []tlBucket
+}
+
+type tlBucket struct {
+	ops   atomic.Int64
+	errs  atomic.Int64
+	bytes atomic.Int64
+}
+
+func newTimeline(start time.Time, total, interval time.Duration) *timeline {
+	n := int(total/interval) + 2 // +slack for ops finishing past the deadline
+	return &timeline{start: start, interval: interval, buckets: make([]tlBucket, n)}
+}
+
+func (t *timeline) record(at time.Time, n int64, failed bool) {
+	i := int(at.Sub(t.start) / t.interval)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(t.buckets) {
+		i = len(t.buckets) - 1
+	}
+	b := &t.buckets[i]
+	b.ops.Add(1)
+	b.bytes.Add(n)
+	if failed {
+		b.errs.Add(1)
+	}
+}
+
+// points renders the series, trimming trailing empty buckets.
+func (t *timeline) points() []loadreport.TimelinePoint {
+	last := -1
+	for i := range t.buckets {
+		if t.buckets[i].ops.Load() > 0 {
+			last = i
+		}
+	}
+	sec := t.interval.Seconds()
+	pts := make([]loadreport.TimelinePoint, 0, last+1)
+	for i := 0; i <= last; i++ {
+		b := &t.buckets[i]
+		pts = append(pts, loadreport.TimelinePoint{
+			TSec:    float64(i) * sec,
+			OpsPerS: round3(float64(b.ops.Load()) / sec),
+			MBPerS:  round3(float64(b.bytes.Load()) / sec / (1 << 20)),
+			Errors:  b.errs.Load(),
+		})
+	}
+	return pts
+}
+
+func ms(ns int64) float64      { return round3(float64(ns) / 1e6) }
+func round3(x float64) float64 { return float64(int64(x*1000+0.5)) / 1000 }
+
+// buildReport merges the per-worker recorders into the emitted document.
+func buildReport(cfg config, target string, workers []*worker, tl *timeline, measured time.Duration) *loadreport.Report {
+	rep := &loadreport.Report{
+		Schema: loadreport.Schema,
+		Target: target,
+		Config: loadreport.Config{
+			Workers: cfg.workers, Tenants: cfg.tenants, Keys: cfg.keys,
+			Mix: cfg.mix, Sizes: cfg.sizes,
+			Duration: cfg.duration.String(), Warmup: cfg.warmup.String(),
+			Seed: cfg.seed,
+		},
+		Ops:      map[string]loadreport.Op{},
+		Timeline: tl.points(),
+	}
+	if cfg.url == "" {
+		rep.Config.Providers = cfg.localN
+	}
+
+	sec := measured.Seconds()
+	totalHist := metrics.NewHistogram()
+	var total loadreport.Op
+	for op := opKind(0); op < opCount; op++ {
+		hist := metrics.NewHistogram()
+		var count, errs, bytes int64
+		for _, w := range workers {
+			r := w.recs[op]
+			hist.Merge(r.hist)
+			count += r.count
+			errs += r.errs
+			bytes += r.bytes
+		}
+		if count == 0 {
+			continue
+		}
+		rep.Ops[opNames[op]] = opSummary(hist, count, errs, bytes, sec)
+		totalHist.Merge(hist)
+		total.Count += count
+		total.Errors += errs
+		total.Bytes += bytes
+	}
+	rep.Total = opSummary(totalHist, total.Count, total.Errors, total.Bytes, sec)
+	rep.Errors = total.Errors
+	return rep
+}
+
+func opSummary(h *metrics.Histogram, count, errs, bytes int64, sec float64) loadreport.Op {
+	s := h.Snapshot()
+	op := loadreport.Op{
+		Count: count, Errors: errs, Bytes: bytes,
+		P50ms: ms(s.P50), P90ms: ms(s.P90), P99ms: ms(s.P99),
+		P999ms: ms(s.P999), MaxMs: ms(s.Max), MeanMs: round3(s.Mean / 1e6),
+	}
+	if sec > 0 {
+		op.OpsPerS = round3(float64(count) / sec)
+		op.MBPerS = round3(float64(bytes) / sec / (1 << 20))
+	}
+	return op
+}
+
+// writeReport emits the JSON document to path ("" or "-" = stdout).
+func writeReport(rep *loadreport.Report, path string) error {
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if path == "" || path == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	if path == os.DevNull {
+		return nil
+	}
+	return os.WriteFile(path, enc, 0o644)
+}
+
+// printSummary writes the human-readable digest (stderr, so a piped
+// stdout stays pure JSON).
+func printSummary(w io.Writer, rep *loadreport.Report, workers []*worker) {
+	fmt.Fprintf(w, "cloudbench: %s · %d workers · mix %s\n", rep.Target, rep.Config.Workers, rep.Config.Mix)
+	for op := opKind(0); op < opCount; op++ {
+		o, ok := rep.Ops[opNames[op]]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "  %-7s %7d ops %4d err  p50 %8.2fms  p99 %8.2fms  p99.9 %8.2fms  %8.1f ops/s %8.2f MB/s\n",
+			opNames[op], o.Count, o.Errors, o.P50ms, o.P99ms, o.P999ms, o.OpsPerS, o.MBPerS)
+	}
+	o := rep.Total
+	fmt.Fprintf(w, "  %-7s %7d ops %4d err  p50 %8.2fms  p99 %8.2fms  p99.9 %8.2fms  %8.1f ops/s %8.2f MB/s\n",
+		"total", o.Count, o.Errors, o.P50ms, o.P99ms, o.P999ms, o.OpsPerS, o.MBPerS)
+	for op := opKind(0); op < opCount; op++ {
+		for _, wk := range workers {
+			if err := wk.recs[op].firstErr; err != nil {
+				fmt.Fprintf(w, "  first %s error: %v\n", opNames[op], err)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Package loadreport defines the JSON document cmd/cloudbench emits and
+// cmd/benchjson merges into the BENCH_N.json trajectory. It lives in its
+// own package so the producer and the consumer share one schema without
+// either importing the other's main.
+package loadreport
+
+// Schema identifies the document format; bump on incompatible changes.
+const Schema = "cloudbench/v1"
+
+// Report is one cloudbench run: per-op and aggregate latency/throughput
+// over the measured (post-warmup) window, plus a whole-run timeline.
+type Report struct {
+	Schema   string          `json:"schema"`
+	Target   string          `json:"target"`
+	Config   Config          `json:"config"`
+	Ops      map[string]Op   `json:"ops"`
+	Total    Op              `json:"total"`
+	Timeline []TimelinePoint `json:"timeline"`
+	Errors   int64           `json:"errors"`
+}
+
+// Config echoes the knobs that shaped the run, so a trajectory point is
+// reproducible from its own record.
+type Config struct {
+	Workers   int    `json:"workers"`
+	Tenants   int    `json:"tenants"`
+	Keys      int    `json:"keys_per_tenant"`
+	Providers int    `json:"providers,omitempty"` // in-process fleet only
+	Mix       string `json:"mix"`
+	Sizes     string `json:"sizes"`
+	Duration  string `json:"duration"`
+	Warmup    string `json:"warmup"`
+	Seed      int64  `json:"seed"`
+}
+
+// Op is one operation class's measured-window summary. Latencies are
+// milliseconds; rates are over the measured window.
+type Op struct {
+	Count   int64   `json:"count"`
+	Errors  int64   `json:"errors"`
+	Bytes   int64   `json:"bytes"`
+	OpsPerS float64 `json:"ops_per_s"`
+	MBPerS  float64 `json:"mb_per_s"`
+	P50ms   float64 `json:"p50_ms"`
+	P90ms   float64 `json:"p90_ms"`
+	P99ms   float64 `json:"p99_ms"`
+	P999ms  float64 `json:"p99_9_ms"`
+	MaxMs   float64 `json:"max_ms"`
+	MeanMs  float64 `json:"mean_ms"`
+}
+
+// TimelinePoint is one interval of the whole-run (warmup included)
+// throughput series.
+type TimelinePoint struct {
+	TSec    float64 `json:"t_s"`
+	OpsPerS float64 `json:"ops_per_s"`
+	MBPerS  float64 `json:"mb_per_s"`
+	Errors  int64   `json:"errors"`
+}

@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram is an HDR-style log-linear latency histogram: values are
+// binned into power-of-two groups, each split into 2^subBucketBits
+// linear sub-buckets, so every recorded value lands in a bucket whose
+// width is at most 1/2^subBucketBits of the value. Quantiles are read
+// back from bucket midpoints with bounded (~1.6%) relative error at any
+// magnitude, in O(buckets) time and O(buckets) constant memory — no
+// sample reservoir, no sorting, no coordinated per-value allocation.
+//
+// A Histogram is not safe for concurrent use; concurrent recorders keep
+// one each and Merge them when done.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+	sum    float64
+	min    int64
+	max    int64
+}
+
+// subBucketBits fixes the linear resolution inside each power-of-two
+// group: 2^6 = 64 sub-buckets, ≤1.6% relative bucket width.
+const subBucketBits = 6
+
+const subBucketCount = 1 << subBucketBits
+
+// histBuckets covers all of int64: values below subBucketCount are
+// exact, and the highest group index for 2^62-ish values stays in range.
+const histBuckets = (64 - subBucketBits) << subBucketBits
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, histBuckets)}
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < subBucketCount {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1
+	shift := e - subBucketBits
+	return ((shift + 1) << subBucketBits) + int((v>>shift)&(subBucketCount-1))
+}
+
+// bucketMid returns the representative (midpoint) value of a bucket.
+func bucketMid(idx int) int64 {
+	if idx < 2*subBucketCount {
+		return int64(idx)
+	}
+	shift := idx>>subBucketBits - 1
+	base := int64(subBucketCount+idx&(subBucketCount-1)) << shift
+	return base + (int64(1)<<shift)/2
+}
+
+// Record adds one observation. Negative values clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += float64(v)
+}
+
+// RecordDuration adds one observation in nanoseconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Merge folds o into h; o is unchanged.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.total += o.total
+	h.sum += o.sum
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the exact arithmetic mean of the recorded values.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min returns the smallest recorded value (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the value at quantile q ∈ [0, 1]: the smallest
+// bucket midpoint such that at least ⌈q·count⌉ observations are at or
+// below its bucket, clamped into [Min, Max] so bucket rounding never
+// reports a latency outside the observed range.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q*float64(h.total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank >= h.total {
+		return h.max
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketMid(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// HistogramSnapshot is a point-in-time percentile summary.
+type HistogramSnapshot struct {
+	Count uint64
+	Min   int64
+	Max   int64
+	Mean  float64
+	P50   int64
+	P90   int64
+	P99   int64
+	P999  int64
+}
+
+// Snapshot summarizes the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+}

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram: %+v", h.Snapshot())
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty quantile = %d", h.Quantile(0.5))
+	}
+}
+
+func TestHistogramSmallValuesAreExact(t *testing.T) {
+	h := NewHistogram()
+	// Values below 2·subBucketCount land in width-1 buckets.
+	for v := int64(0); v < 128; v++ {
+		h.Record(v)
+	}
+	if h.Min() != 0 || h.Max() != 127 || h.Count() != 128 {
+		t.Fatalf("min/max/count = %d/%d/%d", h.Min(), h.Max(), h.Count())
+	}
+	if got := h.Quantile(0.5); got != 63 {
+		t.Fatalf("p50 = %d, want 63 (lower median of 0..127)", got)
+	}
+	if got := h.Quantile(1); got != 127 {
+		t.Fatalf("p100 = %d, want 127", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("p0 = %d, want 0", got)
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative record: min=%d max=%d count=%d", h.Min(), h.Max(), h.Count())
+	}
+}
+
+// TestHistogramQuantileError checks the advertised relative error bound
+// against exact order statistics over several magnitudes.
+func TestHistogramQuantileError(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	vals := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~6 decades, latency-shaped.
+		v := int64(math.Exp(rng.Float64()*14) * 1000)
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(q*float64(len(vals))+0.5) - 1
+		exact := vals[rank]
+		got := h.Quantile(q)
+		if relErr := math.Abs(float64(got-exact)) / float64(exact); relErr > 0.02 {
+			t.Fatalf("q=%v: got %d, exact %d, rel err %.4f > 2%%", q, got, exact, relErr)
+		}
+	}
+}
+
+func TestHistogramQuantilesMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	for i := 0; i < 5000; i++ {
+		h.Record(rng.Int63n(1_000_000_000))
+	}
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %d < previous %d", q, v, prev)
+		}
+		prev = v
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Fatalf("p100 = %d, max = %d", h.Quantile(1), h.Max())
+	}
+}
+
+func TestHistogramMergeMatchesCombinedRecording(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, b, both := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := 0; i < 4000; i++ {
+		v := rng.Int63n(50_000_000)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		both.Record(v)
+	}
+	a.Merge(b)
+	a.Merge(nil)
+	a.Merge(NewHistogram())
+	if a.Count() != both.Count() || a.Min() != both.Min() || a.Max() != both.Max() {
+		t.Fatalf("merge count/min/max mismatch: %+v vs %+v", a.Snapshot(), both.Snapshot())
+	}
+	if a.Mean() != both.Mean() {
+		t.Fatalf("merge mean = %v, want %v", a.Mean(), both.Mean())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Fatalf("q=%v: merged %d, combined %d", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramSnapshotAndDuration(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.RecordDuration(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("snapshot count = %d", s.Count)
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.P999 || s.P999 > s.Max {
+		t.Fatalf("snapshot not ordered: %+v", s)
+	}
+	want := float64(499500) * float64(time.Millisecond) / 1000
+	if math.Abs(s.Mean-want) > 1e-6*want {
+		t.Fatalf("mean = %v, want %v", s.Mean, want)
+	}
+}
+
+func TestHistogramExtremeValues(t *testing.T) {
+	h := NewHistogram()
+	h.Record(0)
+	h.Record(math.MaxInt64)
+	if h.Min() != 0 || h.Max() != math.MaxInt64 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if got := h.Quantile(1); got != math.MaxInt64 {
+		t.Fatalf("p100 = %d", got)
+	}
+}

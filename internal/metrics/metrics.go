@@ -2,7 +2,9 @@
 // quantify mining success and clustering agreement: Rand / adjusted Rand
 // index, cluster-migration counts, cophenetic correlation, and basic error
 // measures. These turn the paper's visual "entities moved between
-// clusters" argument (Figs. 4–6) into numbers.
+// clusters" argument (Figs. 4–6) into numbers. It also provides the
+// HDR-style latency histogram (histogram.go) the load harness uses for
+// percentile reporting.
 package metrics
 
 import (

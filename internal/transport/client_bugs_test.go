@@ -1,0 +1,199 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// lowerRespCap shrinks the client-side response cap for one test so an
+// oversize body can be served without allocating 64 MiB.
+func lowerRespCap(t *testing.T, n int64) {
+	t.Helper()
+	old := maxRespRead
+	maxRespRead = n
+	t.Cleanup(func() { maxRespRead = old })
+}
+
+// countingHandler serves scripted responses per path and records how
+// many attempts each path received.
+type countingHandler struct {
+	mu    sync.Mutex
+	calls map[string]int
+	serve func(attempt int, w http.ResponseWriter, r *http.Request)
+}
+
+func (h *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	if h.calls == nil {
+		h.calls = map[string]int{}
+	}
+	h.calls[r.URL.Path]++
+	n := h.calls[r.URL.Path]
+	h.mu.Unlock()
+	h.serve(n, w, r)
+}
+
+func (h *countingHandler) attempts(path string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.calls[path]
+}
+
+func quietClient(t *testing.T, srv *httptest.Server) *Client {
+	t.Helper()
+	client := NewClient(srv.URL, srv.Client())
+	client.retry.sleep = func(time.Duration) {}
+	return client
+}
+
+// abortMidBody starts a response that claims more bytes than it sends,
+// flushes the prefix, then kills the connection — what a connection
+// reset mid-transfer looks like from the client side.
+func abortMidBody(w http.ResponseWriter, claim, send int) {
+	w.Header().Set("Content-Length", fmt.Sprint(claim))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(bytes.Repeat([]byte("x"), send))
+	w.(http.Flusher).Flush()
+	panic(http.ErrAbortHandler)
+}
+
+func TestOversizeResponseIsExplicitError(t *testing.T) {
+	lowerRespCap(t, 4096)
+	h := &countingHandler{serve: func(_ int, w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write(make([]byte, 5000))
+	}}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	client := quietClient(t, srv)
+
+	_, err := client.GetFile("c", "pw", "f")
+	if !errors.Is(err, ErrOversizeResponse) {
+		t.Fatalf("GetFile over cap = %v, want ErrOversizeResponse", err)
+	}
+	if isNetworkError(err) {
+		t.Fatal("oversize response classified as retriable network error")
+	}
+	if n := h.attempts("/v1/get_file"); n != 1 {
+		t.Fatalf("oversize response retried: %d attempts", n)
+	}
+}
+
+func TestOversizeResponseExactCapStillSucceeds(t *testing.T) {
+	lowerRespCap(t, 4096)
+	h := &countingHandler{serve: func(_ int, w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write(make([]byte, 4096))
+	}}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+
+	got, err := quietClient(t, srv).GetFile("c", "pw", "f")
+	if err != nil || len(got) != 4096 {
+		t.Fatalf("GetFile at exactly the cap = %d bytes, %v", len(got), err)
+	}
+}
+
+func TestGetJSONOversizeResponseIsExplicitError(t *testing.T) {
+	lowerRespCap(t, 2048)
+	h := &countingHandler{serve: func(_ int, w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write(make([]byte, 3000))
+	}}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+
+	_, err := quietClient(t, srv).Stats()
+	if !errors.Is(err, ErrOversizeResponse) {
+		t.Fatalf("Stats over cap = %v, want ErrOversizeResponse", err)
+	}
+	if n := h.attempts("/v1/stats"); n != 1 {
+		t.Fatalf("oversize response retried: %d attempts", n)
+	}
+}
+
+func TestIdempotentPostRetriesMidBodyReset(t *testing.T) {
+	want := bytes.Repeat([]byte("payload!"), 512)
+	h := &countingHandler{serve: func(attempt int, w http.ResponseWriter, _ *http.Request) {
+		if attempt == 1 {
+			abortMidBody(w, len(want), len(want)/4)
+		}
+		_, _ = w.Write(want)
+	}}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+
+	got, err := quietClient(t, srv).GetFile("c", "pw", "f")
+	if err != nil {
+		t.Fatalf("GetFile should survive one mid-body reset: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("GetFile after retry = %d bytes, want %d", len(got), len(want))
+	}
+	if n := h.attempts("/v1/get_file"); n != 2 {
+		t.Fatalf("attempts = %d, want 2", n)
+	}
+}
+
+func TestGetJSONRetriesMidBodyReset(t *testing.T) {
+	h := &countingHandler{serve: func(attempt int, w http.ResponseWriter, _ *http.Request) {
+		if attempt == 1 {
+			abortMidBody(w, 1000, 100)
+		}
+		_ = json.NewEncoder(w).Encode(core.Stats{Chunks: 7})
+	}}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+
+	stats, err := quietClient(t, srv).Stats()
+	if err != nil {
+		t.Fatalf("Stats should survive one mid-body reset: %v", err)
+	}
+	if stats.Chunks != 7 {
+		t.Fatalf("Stats after retry = %+v", stats)
+	}
+	if n := h.attempts("/v1/stats"); n != 2 {
+		t.Fatalf("attempts = %d, want 2", n)
+	}
+}
+
+func TestGetJSONMidBodyResetExhaustsBudget(t *testing.T) {
+	h := &countingHandler{serve: func(_ int, w http.ResponseWriter, _ *http.Request) {
+		abortMidBody(w, 1000, 100)
+	}}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+
+	_, err := quietClient(t, srv).Stats()
+	if !isNetworkError(err) {
+		t.Fatalf("exhausted retries should surface the transport error, got %v", err)
+	}
+	if n := h.attempts("/v1/stats"); n != netRetries {
+		t.Fatalf("attempts = %d, want %d", n, netRetries)
+	}
+}
+
+func TestMutationMidBodyResetIsNotRetried(t *testing.T) {
+	h := &countingHandler{serve: func(_ int, w http.ResponseWriter, _ *http.Request) {
+		abortMidBody(w, 1000, 100)
+	}}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+
+	err := quietClient(t, srv).UpdateChunk("c", "pw", "f", 0, []byte("y"))
+	if err == nil {
+		t.Fatal("mid-body reset on a mutation should fail")
+	}
+	if !isNetworkError(err) {
+		t.Fatalf("mid-body reset should classify as transport failure, got %v", err)
+	}
+	if n := h.attempts("/v1/update_chunk"); n != 1 {
+		t.Fatalf("attempts = %d; a mutation must not be replayed", n)
+	}
+}

@@ -82,8 +82,22 @@ func (c *Client) post(path string, req any) ([]byte, error) {
 	return c.postOnce(path, body)
 }
 
-// netError marks a failure at the transport layer — the request never
-// produced an HTTP response, so for idempotent calls it is safe to retry.
+// ErrOversizeResponse marks a response body that reached the transfer
+// size bound. Before this check existed the client silently truncated
+// such a body at maxBlobBytes and handed it back as a success, which
+// surfaced later as an inexplicable length or checksum mismatch far
+// from the cause.
+var ErrOversizeResponse = errors.New("transport: response exceeds size limit")
+
+// maxRespRead bounds how much of a distributor response body the client
+// will accept. It is a variable (normally maxBlobBytes) only so tests
+// can lower it without serving a 64 MiB body.
+var maxRespRead int64 = maxBlobBytes
+
+// netError marks a failure at the transport layer — either the request
+// never produced an HTTP response, or the response died mid-body after
+// the server had already executed the request. Only layers that know
+// the call is idempotent may retry on it.
 type netError struct{ err error }
 
 func (e *netError) Error() string { return e.err.Error() }
@@ -102,9 +116,17 @@ func (c *Client) postOnce(path string, body []byte) ([]byte, error) {
 		return nil, &netError{fmt.Errorf("transport: %s: %w", path, err)}
 	}
 	defer resp.Body.Close()
-	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes))
+	// Read one byte past the cap: a body that reaches it was truncated,
+	// and must fail loudly instead of being returned as a success.
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxRespRead+1))
 	if err != nil {
-		return nil, err
+		// The response died mid-body (connection reset, timeout). The
+		// server already executed the request, so surface it as a
+		// transport failure and let the idempotent layers retry it.
+		return nil, &netError{fmt.Errorf("transport: %s: %w", path, err)}
+	}
+	if int64(len(payload)) > maxRespRead {
+		return nil, fmt.Errorf("%w: %s: body larger than %d bytes", ErrOversizeResponse, path, maxRespRead)
 	}
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
 		return nil, statusToCoreError(resp.StatusCode, string(payload))
@@ -142,14 +164,26 @@ func (c *Client) getJSON(path string, v any) error {
 			lastErr = &netError{fmt.Errorf("transport: %s: %w", path, err)}
 			continue
 		}
-		if resp.StatusCode != http.StatusOK {
-			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-			resp.Body.Close()
-			return statusToCoreError(resp.StatusCode, string(msg))
-		}
-		err = json.NewDecoder(resp.Body).Decode(v)
+		payload, err := io.ReadAll(io.LimitReader(resp.Body, maxRespRead+1))
 		resp.Body.Close()
-		return err
+		if err != nil {
+			// Mid-body transport failure. These GETs are read-only, so
+			// replaying the request is exactly as safe as retrying one
+			// that never connected — previously this returned the decode
+			// error immediately and wasted the remaining attempts.
+			lastErr = &netError{fmt.Errorf("transport: %s: %w", path, err)}
+			continue
+		}
+		if int64(len(payload)) > maxRespRead {
+			return fmt.Errorf("%w: %s: body larger than %d bytes", ErrOversizeResponse, path, maxRespRead)
+		}
+		if resp.StatusCode != http.StatusOK {
+			if len(payload) > 512 {
+				payload = payload[:512]
+			}
+			return statusToCoreError(resp.StatusCode, string(payload))
+		}
+		return json.Unmarshal(payload, v)
 	}
 	return lastErr
 }
