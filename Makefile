@@ -6,6 +6,7 @@
 #   FUZZTIME=30s make fuzz  longer fuzz budget
 #   make loadbench        warp-class mixed-workload load benchmark
 #   make bench-loadsmoke  CI load smoke: short strict cloudbench run
+#   make memcheck         bounded-memory streaming check (256 MiB object)
 #   make simcheck         tier-2: deterministic fault-schedule simulation
 #   SIMCHECK_SEEDS=64 SIMCHECK_OPS=600 make simcheck  bigger sweep
 #   make walcheck         crash-restart recovery sweep (WAL durability)
@@ -20,11 +21,24 @@ SIMCHECK_OPS   ?= 0
 # BENCHOUT=... to deliberately re-record a point.
 BENCHOUT  ?= $(shell ls BENCH_*.json 2>/dev/null | sed -n 's/^BENCH_\([0-9][0-9]*\)\.json$$/\1/p' | sort -n | tail -1 | { read n; echo BENCH_$$((n+1)).json; })
 BENCHTIME ?= 1s
-LOADDUR   ?= 12s
-LOADWARM  ?= 2s
-LOADWORKERS ?= 8
+LOADDUR   ?= 120s
+LOADWARM  ?= 6s
+# Large-object profile: every op moves a 64 MiB object, so the report's
+# per-op p50 directly compares the streaming pair (sput/sget) against
+# the whole-buffer baseline (put/get) at a size the buffered wire format
+# only just fits. PL0 (64 KiB chunks) keeps op cost dominated by byte
+# movement rather than per-chunk metadata round-trips; one closed-loop
+# worker keeps ops uncontended so each latency measures the pipeline
+# itself, not cross-op queueing on the 6-provider loopback fleet.
+LOADWORKERS ?= 1
+LOADMIX   ?= put=22,get=22,range=12,sput=22,sget=22
+LOADSIZES ?= 64MiB=100
+LOADPL    ?= 0
+LOADKEYS  ?= 3
+LOADTENANTS ?= 2
+LOADWINDOW ?= 16
 
-.PHONY: check build vet test race fuzz fmt bench bench-smoke loadbench bench-loadsmoke simcheck simcheck-short walcheck walcheck-race
+.PHONY: check build vet test race fuzz fmt bench bench-smoke loadbench bench-loadsmoke memcheck simcheck simcheck-short walcheck walcheck-race
 
 check: vet build race fuzz
 
@@ -69,6 +83,8 @@ bench-smoke:
 # timeline merge into $(BENCHOUT) as the "load" record.
 loadbench:
 	$(GO) run ./cmd/cloudbench -local-providers 6 -workers $(LOADWORKERS) \
+		-tenants $(LOADTENANTS) -keys $(LOADKEYS) -pl $(LOADPL) \
+		-mix $(LOADMIX) -sizes $(LOADSIZES) -stream-window $(LOADWINDOW) \
 		-duration $(LOADDUR) -warmup $(LOADWARM) -seed 7 -out cloudbench.out.json
 	$(GO) run ./cmd/benchjson -load cloudbench.out.json -out $(BENCHOUT) < /dev/null
 	@rm -f cloudbench.out.json
@@ -78,6 +94,13 @@ loadbench:
 bench-loadsmoke:
 	$(GO) run ./cmd/cloudbench -local-providers 5 -workers 4 -tenants 2 -keys 8 \
 		-duration 3s -warmup 500ms -strict -out /dev/null
+
+# Bounded-memory regression gate for the streaming data plane: pushes a
+# 256 MiB object (128× the in-flight window) through UploadStream and
+# GetFileTo over disk-backed providers and fails if peak heap growth is
+# file-bounded instead of window-bounded.
+memcheck:
+	MEMCHECK=1 $(GO) test ./internal/core -count=1 -run 'TestStreamBoundedMemory' -v
 
 # Tier-2 gate: seeded fault-schedule simulation against the invariant
 # oracle (internal/simcheck). Every failure prints a one-line repro:

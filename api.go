@@ -38,6 +38,7 @@ package privcloud
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/privacy"
@@ -117,6 +118,10 @@ type SystemConfig struct {
 	Secret []byte
 	// MisleadSeed makes decoy injection reproducible.
 	MisleadSeed int64
+	// StreamWindow bounds how many stripes a streaming transfer
+	// (UploadFrom / GetFileTo) holds in flight; zero selects the
+	// distributor default (4).
+	StreamWindow int
 }
 
 // System bundles a distributor with its provider fleet — the whole paper
@@ -149,11 +154,12 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		}
 	}
 	dist, err := core.New(core.Config{
-		Fleet:       fleet,
-		DefaultRaid: cfg.DefaultRaid,
-		StripeWidth: cfg.StripeWidth,
-		Secret:      cfg.Secret,
-		MisleadSeed: cfg.MisleadSeed,
+		Fleet:        fleet,
+		DefaultRaid:  cfg.DefaultRaid,
+		StripeWidth:  cfg.StripeWidth,
+		Secret:       cfg.Secret,
+		MisleadSeed:  cfg.MisleadSeed,
+		StreamWindow: cfg.StreamWindow,
 	})
 	if err != nil {
 		return nil, err
@@ -174,9 +180,24 @@ func (s *System) Upload(client, password, filename string, data []byte, pl Priva
 	return s.dist.Upload(client, password, filename, data, pl, opts)
 }
 
+// UploadFrom is Upload behind an io.Reader: the file is chunked,
+// striped and shipped as bytes arrive, holding at most
+// SystemConfig.StreamWindow stripes in memory — the entry point for
+// objects too large to materialize.
+func (s *System) UploadFrom(client, password, filename string, r io.Reader, pl PrivacyLevel, opts UploadOptions) (FileInfo, error) {
+	return s.dist.UploadStream(client, password, filename, r, pl, opts)
+}
+
 // GetFile retrieves and reassembles a file.
 func (s *System) GetFile(client, password, filename string) ([]byte, error) {
 	return s.dist.GetFile(client, password, filename)
+}
+
+// GetFileTo streams a whole file into w in order with bounded lookahead,
+// never buffering more than the stream window. It returns the bytes
+// written; on error the count reports the delivered prefix.
+func (s *System) GetFileTo(w io.Writer, client, password, filename string) (int64, error) {
+	return s.dist.GetFileTo(w, client, password, filename)
 }
 
 // GetChunk retrieves one chunk by serial number.

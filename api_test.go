@@ -155,3 +155,52 @@ func TestSystemAccessors(t *testing.T) {
 		t.Fatalf("fleet len = %d", sys.Fleet().Len())
 	}
 }
+
+func TestSystemStreaming(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{
+		Providers: []ProviderSpec{
+			{Name: "alpha", Privacy: High, Cost: 1},
+			{Name: "beta", Privacy: High, Cost: 1},
+			{Name: "gamma", Privacy: High, Cost: 1},
+			{Name: "delta", Privacy: High, Cost: 1},
+			{Name: "epsilon", Privacy: High, Cost: 1},
+		},
+		StreamWindow: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterClient("acme"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddPassword("acme", "s3cret", High); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	data := make([]byte, 120_000)
+	rng.Read(data)
+	info, err := sys.UploadFrom("acme", "s3cret", "big.dat", bytes.NewReader(data), High, UploadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Bytes != len(data) {
+		t.Fatalf("info = %+v", info)
+	}
+	var buf bytes.Buffer
+	n, err := sys.GetFileTo(&buf, "acme", "s3cret", "big.dat")
+	if err != nil || n != int64(len(data)) || !bytes.Equal(buf.Bytes(), data) {
+		t.Fatalf("GetFileTo: n=%d err=%v", n, err)
+	}
+	// The buffered surface reads what the streaming surface wrote.
+	got, err := sys.GetFile("acme", "s3cret", "big.dat")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("GetFile interop: %v", err)
+	}
+	m := sys.Metrics()
+	if m.StreamUploads != 1 || m.StreamReads != 1 {
+		t.Fatalf("stream counters: %+v", m)
+	}
+	if _, err := sys.UploadFrom("acme", "s3cret", "big.dat", bytes.NewReader(data), High, UploadOptions{}); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate UploadFrom: %v", err)
+	}
+}

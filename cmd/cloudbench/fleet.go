@@ -18,7 +18,7 @@ import (
 // plus a shutdown function. The distributor reaches its providers
 // through RemoteProvider clients, so the measured stack is the full
 // networked architecture, not an in-process shortcut.
-func startLocalFleet(n int, provLatency time.Duration, cacheBytes int64, hedgeAfter time.Duration) (string, func(), error) {
+func startLocalFleet(n int, provLatency time.Duration, cacheBytes int64, hedgeAfter time.Duration, streamWindow int) (string, func(), error) {
 	var servers []*http.Server
 	shutdown := func() {
 		for _, s := range servers {
@@ -73,9 +73,10 @@ func startLocalFleet(n int, provLatency time.Duration, cacheBytes int64, hedgeAf
 	}
 
 	dist, err := core.New(core.Config{
-		Fleet:      fleet,
-		CacheBytes: cacheBytes,
-		HedgeAfter: hedgeAfter,
+		Fleet:        fleet,
+		CacheBytes:   cacheBytes,
+		HedgeAfter:   hedgeAfter,
+		StreamWindow: streamWindow,
 	})
 	if err != nil {
 		shutdown()

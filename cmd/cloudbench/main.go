@@ -1,6 +1,7 @@
 // Command cloudbench is a warp-class load generator for the privcloud
 // distributor: it drives a real networked distributor+provider fleet
-// with a mixed put/get/range/update/remove workload — configurable op
+// with a mixed put/get/range/update/remove workload (plus sput/sget,
+// the windowed streaming upload/download pair) — configurable op
 // ratios, worker concurrency, object-size distribution, multi-tenant
 // client/key spaces — for a fixed duration with warmup exclusion, and
 // reports p50/p90/p99/p99.9 latency per op plus a throughput timeline
@@ -34,6 +35,7 @@ type config struct {
 	provLatency time.Duration
 	cacheBytes  int64
 	hedgeAfter  time.Duration
+	streamW     int
 	workers     int
 	duration    time.Duration
 	warmup      time.Duration
@@ -59,11 +61,12 @@ func parseConfig(args []string) (config, error) {
 	fs.DurationVar(&cfg.provLatency, "provider-latency", 0, "simulated per-op latency of in-process providers")
 	fs.Int64Var(&cfg.cacheBytes, "cache-bytes", 0, "in-process distributor chunk-cache bound (0 disables)")
 	fs.DurationVar(&cfg.hedgeAfter, "hedge-after", 50*time.Millisecond, "in-process distributor hedge delay (0 disables)")
+	fs.IntVar(&cfg.streamW, "stream-window", 0, "in-process distributor streaming window in stripes (0 = default 4)")
 	fs.IntVar(&cfg.workers, "workers", 16, "concurrent load workers")
 	fs.DurationVar(&cfg.duration, "duration", 30*time.Second, "total run length, warmup included")
 	fs.DurationVar(&cfg.warmup, "warmup", 5*time.Second, "initial window excluded from latency stats")
 	fs.StringVar(&cfg.mix, "mix", "put=10,get=60,range=15,update=10,remove=5", "op weights")
-	fs.StringVar(&cfg.sizes, "sizes", "4KiB=60,64KiB=30,256KiB=10", "object-size weights (B/KiB/MiB)")
+	fs.StringVar(&cfg.sizes, "sizes", "4KiB=60,64KiB=30,256KiB=10", "object-size weights (B/KiB/MiB/GiB)")
 	fs.IntVar(&cfg.tenants, "tenants", 4, "client accounts sharing the fleet")
 	fs.IntVar(&cfg.keys, "keys", 32, "preloaded objects per tenant")
 	fs.IntVar(&cfg.pl, "pl", int(privacy.Moderate), "privacy level of benchmark objects")
@@ -124,7 +127,7 @@ func run(cfg config) (*loadreport.Report, error) {
 
 	target := cfg.url
 	if target == "" {
-		url, shutdown, err := startLocalFleet(cfg.localN, cfg.provLatency, cfg.cacheBytes, cfg.hedgeAfter)
+		url, shutdown, err := startLocalFleet(cfg.localN, cfg.provLatency, cfg.cacheBytes, cfg.hedgeAfter, cfg.streamW)
 		if err != nil {
 			return nil, fmt.Errorf("starting fleet: %w", err)
 		}

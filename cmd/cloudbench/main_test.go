@@ -12,7 +12,7 @@ func smokeConfig() config {
 		workers:    4,
 		duration:   1200 * time.Millisecond,
 		warmup:     200 * time.Millisecond,
-		mix:        "put=10,get=55,range=15,update=10,remove=10",
+		mix:        "put=10,get=35,range=15,update=10,remove=10,sput=10,sget=10",
 		sizes:      "2KiB=70,16KiB=30",
 		tenants:    2,
 		keys:       6,
@@ -37,7 +37,7 @@ func TestCloudbenchSmoke(t *testing.T) {
 	if rep.Total.Count == 0 {
 		t.Fatal("no operations measured")
 	}
-	for _, op := range []string{"put", "get", "range", "update", "remove"} {
+	for _, op := range []string{"put", "get", "range", "update", "remove", "sput", "sget"} {
 		o, ok := rep.Ops[op]
 		if !ok {
 			t.Fatalf("op %q missing from report (ops: %v)", op, rep.Ops)
@@ -82,11 +82,11 @@ func TestParseMixAndSizes(t *testing.T) {
 			t.Fatalf("parseMix(%q) accepted", bad)
 		}
 	}
-	d, err := parseSizes("512B=1,4KiB=2,1MiB=3")
+	d, err := parseSizes("512B=1,4KiB=2,1MiB=3,1GiB=1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []int{512, 4096, 1 << 20}
+	want := []int{512, 4096, 1 << 20, 1 << 30}
 	for i, sz := range d.sizes {
 		if sz != want[i] {
 			t.Fatalf("sizes[%d] = %d, want %d", i, sz, want[i])

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -22,10 +23,12 @@ const (
 	opRange
 	opUpdate
 	opRemove
+	opSPut // streaming upload via UploadFrom (io.Reader, windowed)
+	opSGet // streaming download via GetFileTo (io.Writer, windowed)
 	opCount
 )
 
-var opNames = [opCount]string{"put", "get", "range", "update", "remove"}
+var opNames = [opCount]string{"put", "get", "range", "update", "remove", "sput", "sget"}
 
 // rangeCap bounds one range read; spans are uniform in [1, rangeCap]
 // clipped to the object tail.
@@ -89,6 +92,8 @@ type sizeDist struct {
 func parseSize(s string) (int, error) {
 	mult := 1
 	switch {
+	case strings.HasSuffix(s, "GiB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GiB")
 	case strings.HasSuffix(s, "MiB"):
 		mult, s = 1<<20, strings.TrimSuffix(s, "MiB")
 	case strings.HasSuffix(s, "KiB"):
@@ -215,6 +220,7 @@ type worker struct {
 	mix     opMix
 	sizes   sizeDist
 	pl      privacy.Level
+	block   []byte // pre-generated payload block for streaming puts
 	recs    [opCount]*opRec
 }
 
@@ -222,11 +228,36 @@ func newWorker(seed int64, client *transport.Client, tenants []*tenant, mix opMi
 	w := &worker{
 		rng: rand.New(rand.NewSource(seed)), client: client,
 		tenants: tenants, mix: mix, sizes: sizes, pl: pl,
+		block: make([]byte, 256<<10),
 	}
+	w.rng.Read(w.block)
 	for i := range w.recs {
 		w.recs[i] = newOpRec()
 	}
 	return w
+}
+
+// blockReader serves size bytes from a repeating pre-generated block.
+// Streaming uploads of arbitrarily large objects then cost O(block) in
+// driver memory and near-zero generation CPU, so the measured latency is
+// the system's, not the RNG's.
+type blockReader struct {
+	block []byte
+	left  int
+	off   int
+}
+
+func (r *blockReader) Read(p []byte) (int, error) {
+	if r.left == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.block[r.off:])
+	if n > r.left {
+		n = r.left
+	}
+	r.left -= n
+	r.off = (r.off + n) % len(r.block)
+	return n, nil
 }
 
 // step executes one operation and returns its class, payload bytes
@@ -237,7 +268,7 @@ func (w *worker) step() (op opKind, n int64, lat time.Duration, err error) {
 	tn := w.tenants[w.rng.Intn(len(w.tenants))]
 	op = w.mix.pick(w.rng)
 	var obj objInfo
-	if op != opPut {
+	if op != opPut && op != opSPut {
 		if op == opRemove && tn.population() <= tn.floor {
 			// Keep the namespace from draining: a remove that would
 			// shrink the pool below its floor becomes a put.
@@ -286,6 +317,27 @@ func (w *worker) step() (op opKind, n int64, lat time.Duration, err error) {
 			gerr = fmt.Errorf("range %s/%s[%d:+%d]: %d bytes", tn.name, obj.name, off, l, len(data))
 		}
 		return op, int64(l), lat, gerr
+
+	case opSPut:
+		obj = tn.fresh(w.sizes.pick(w.rng))
+		r := &blockReader{block: w.block, left: obj.size}
+		start := time.Now()
+		_, err = w.client.UploadFrom(tn.name, tn.password, obj.name, r, w.pl, transport.UploadOptions{})
+		lat = time.Since(start)
+		if err == nil {
+			tn.release(obj)
+		}
+		return op, int64(obj.size), lat, err
+
+	case opSGet:
+		start := time.Now()
+		got, gerr := w.client.GetFileTo(io.Discard, tn.name, tn.password, obj.name)
+		lat = time.Since(start)
+		tn.release(obj)
+		if gerr == nil && got != int64(obj.size) {
+			gerr = fmt.Errorf("sget %s/%s: %d bytes, want %d", tn.name, obj.name, got, obj.size)
+		}
+		return op, int64(obj.size), lat, gerr
 
 	case opUpdate:
 		// Sizing read (untimed): the replacement must preserve chunk 0's

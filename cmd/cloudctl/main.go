@@ -15,7 +15,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -39,8 +41,14 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
-	c := transport.NewClient(*server, nil)
 	cmd, rest := args[0], args[1:]
+	var hc *http.Client
+	if cmd == "put" || cmd == "cat" {
+		// Streaming transfers run as long as the object is large; the
+		// default 30-second client timeout would sever them mid-body.
+		hc = &http.Client{}
+	}
+	c := transport.NewClient(*server, hc)
 	if err := run(c, cmd, rest, *pl, *raid6, *mislead); err != nil {
 		log.Fatalf("cloudctl %s: %v", cmd, err)
 	}
@@ -81,6 +89,60 @@ func run(c *transport.Client, cmd string, args []string, pl int, raid6 bool, mis
 		}
 		fmt.Printf("uploaded %s: %d bytes -> %d chunks at %v, %v assurance\n",
 			info.Filename, info.Bytes, info.Chunks, info.PL, info.Raid)
+		return nil
+	case "put":
+		// The streaming twin of upload: the local file (or stdin with "-")
+		// feeds the wire directly, so neither this process nor the
+		// distributor ever holds the whole object.
+		need(args, 4, "put <client> <password> <filename> <localpath|-> [pl]")
+		if len(args) >= 5 {
+			lvl, err := strconv.Atoi(args[4])
+			if err != nil {
+				return fmt.Errorf("pl: %w", err)
+			}
+			pl = lvl
+		}
+		var r io.Reader = os.Stdin
+		if args[3] != "-" {
+			f, err := os.Open(args[3])
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		opts := transport.UploadOptions{MisleadFraction: mislead}
+		if raid6 {
+			opts.Assurance = raid.RAID6
+		}
+		info, err := c.UploadFrom(args[0], args[1], args[2], r, privacy.Level(pl), opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("streamed %s: %d bytes -> %d chunks at %v, %v assurance\n",
+			info.Filename, info.Bytes, info.Chunks, info.PL, info.Raid)
+		return nil
+	case "cat":
+		// The streaming twin of get: bytes land on stdout (or a file) as
+		// they arrive, with bounded memory at every hop.
+		need(args, 3, "cat <client> <password> <filename> [outpath|-]")
+		var w io.Writer = os.Stdout
+		toFile := len(args) >= 4 && args[3] != "-"
+		if toFile {
+			f, err := os.Create(args[3])
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		n, err := c.GetFileTo(w, args[0], args[1], args[2])
+		if err != nil {
+			return err
+		}
+		if toFile {
+			fmt.Printf("streamed %s: %d bytes -> %s\n", args[2], n, args[3])
+		}
 		return nil
 	case "get":
 		need(args, 4, "get <client> <password> <filename> <outpath>")
@@ -296,6 +358,8 @@ commands:
   passwd <client> <password> <pl>
   upload <client> <password> <filename> <localpath> [pl]
   get <client> <password> <filename> <outpath>
+  put <client> <password> <filename> <localpath|-> [pl]   (streaming; "-" reads stdin)
+  cat <client> <password> <filename> [outpath|-]          (streaming; default stdout)
   get-chunk <client> <password> <filename> <serial>
   snapshot <client> <password> <filename> <serial>
   update-chunk <client> <password> <filename> <serial> <localpath>

@@ -170,3 +170,41 @@ func TestCLIRaid6AndMislead(t *testing.T) {
 		t.Fatal("raid6+mislead round trip mismatch")
 	}
 }
+
+func TestCLIStreamingPutCat(t *testing.T) {
+	c, dir := cliFixture(t)
+	_ = run(c, "register", []string{"bob"}, 1, false, 0)
+	_ = run(c, "passwd", []string{"bob", "pw", "3"}, 1, false, 0)
+	src := filepath.Join(dir, "in.dat")
+	content := bytes.Repeat([]byte("stream me around the fleet "), 4000)
+	if err := os.WriteFile(src, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(c, "put", []string{"bob", "pw", "fs", src, "2"}, 1, false, 0); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	dst := filepath.Join(dir, "out.dat")
+	if err := run(c, "cat", []string{"bob", "pw", "fs", dst}, 1, false, 0); err != nil {
+		t.Fatalf("cat: %v", err)
+	}
+	back, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, content) {
+		t.Fatal("put/cat round trip mismatch")
+	}
+	// The buffered commands interoperate with the streamed object.
+	if err := run(c, "get", []string{"bob", "pw", "fs", dst}, 1, false, 0); err != nil {
+		t.Fatalf("get after put: %v", err)
+	}
+	if back, _ = os.ReadFile(dst); !bytes.Equal(back, content) {
+		t.Fatal("get after put mismatch")
+	}
+	if err := run(c, "put", []string{"bob", "pw", "fs", src}, 1, false, 0); err == nil {
+		t.Fatal("duplicate put succeeded")
+	}
+	if err := run(c, "cat", []string{"bob", "pw", "missing", dst}, 1, false, 0); err == nil {
+		t.Fatal("cat of missing file succeeded")
+	}
+}

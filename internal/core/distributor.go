@@ -39,6 +39,13 @@ type Config struct {
 	// Parallelism bounds concurrent provider operations per request
 	// (default 4).
 	Parallelism int
+	// StreamWindow bounds how many stripes a streaming transfer
+	// (UploadStream / GetFileTo) may hold in flight at once (default 4).
+	// Peak distributor memory for a streaming request is O(window ×
+	// stripe size), independent of file size. 1 yields strict lockstep
+	// (plan→ship→plan→ship), which deterministic harnesses rely on;
+	// negative is rejected.
+	StreamWindow int
 	// MisleadSeed makes decoy injection reproducible.
 	MisleadSeed int64
 	// CacheBytes bounds the distributor's read-side chunk cache in bytes.
@@ -83,15 +90,16 @@ type Distributor struct {
 	// mode.
 	mu sync.RWMutex
 
-	fleet       *provider.Fleet
-	policy      privacy.ChunkSizePolicy
-	defaultRaid raid.Level
-	stripeWidth int
-	vids        VIDAllocator
-	parallelism int
-	hedgeAfter  time.Duration
-	misleadRNG  *rand.Rand
-	health      *health.Tracker
+	fleet        *provider.Fleet
+	policy       privacy.ChunkSizePolicy
+	defaultRaid  raid.Level
+	stripeWidth  int
+	vids         VIDAllocator
+	parallelism  int
+	streamWindow int
+	hedgeAfter   time.Duration
+	misleadRNG   *rand.Rand
+	health       *health.Tracker
 
 	clients   map[string]*clientEntry
 	chunks    []chunkEntry
@@ -177,6 +185,13 @@ func New(cfg Config) (*Distributor, error) {
 	if par < 1 {
 		return nil, fmt.Errorf("%w: parallelism %d", ErrConfig, par)
 	}
+	window := cfg.StreamWindow
+	if window == 0 {
+		window = 4
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("%w: stream window %d", ErrConfig, window)
+	}
 	if cfg.CacheBytes < 0 {
 		return nil, fmt.Errorf("%w: cache bytes %d", ErrConfig, cfg.CacheBytes)
 	}
@@ -192,21 +207,22 @@ func New(cfg Config) (*Distributor, error) {
 		vids = NewPRFAllocator(secret)
 	}
 	d := &Distributor{
-		fleet:       cfg.Fleet,
-		policy:      policy,
-		defaultRaid: defRaid,
-		stripeWidth: width,
-		vids:        vids,
-		parallelism: par,
-		hedgeAfter:  cfg.HedgeAfter,
-		misleadRNG:  rand.New(rand.NewSource(cfg.MisleadSeed + 1)),
-		health:      health.NewTracker(cfg.Fleet.Len(), cfg.Health),
-		clients:     make(map[string]*clientEntry),
-		provCount:   make([]int, cfg.Fleet.Len()),
-		provPending: make([]int, cfg.Fleet.Len()),
-		inflight:    make(map[string]int),
-		reserved:    make(map[string]bool),
-		cache:       newChunkCache(cfg.CacheBytes),
+		fleet:        cfg.Fleet,
+		policy:       policy,
+		defaultRaid:  defRaid,
+		stripeWidth:  width,
+		vids:         vids,
+		parallelism:  par,
+		streamWindow: window,
+		hedgeAfter:   cfg.HedgeAfter,
+		misleadRNG:   rand.New(rand.NewSource(cfg.MisleadSeed + 1)),
+		health:       health.NewTracker(cfg.Fleet.Len(), cfg.Health),
+		clients:      make(map[string]*clientEntry),
+		provCount:    make([]int, cfg.Fleet.Len()),
+		provPending:  make([]int, cfg.Fleet.Len()),
+		inflight:     make(map[string]int),
+		reserved:     make(map[string]bool),
+		cache:        newChunkCache(cfg.CacheBytes),
 	}
 	if cfg.WALDir != "" {
 		if err := d.recoverWAL(cfg); err != nil {

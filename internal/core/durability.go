@@ -159,16 +159,6 @@ func (d *Distributor) checkpointLocked() error {
 	return nil
 }
 
-// shardsStored converts an upload's staged shards (which carry their
-// final provider and vid after failover) into a rollback list.
-func shardsStored(shards []stagedShard) []storedShard {
-	out := make([]storedShard, len(shards))
-	for i := range shards {
-		out[i] = storedShard{shards[i].provIdx, shards[i].vid}
-	}
-	return out
-}
-
 // recoverWAL opens cfg.WALDir and rebuilds the distributor's tables from
 // the newest snapshot plus the log tail. Runs from New, before the
 // distributor is published, so the *Locked helpers are safe without the

@@ -132,16 +132,18 @@ func relatedProviders(shards []stagedShard, i int) map[int]bool {
 // fan-out, failing individual shards over to the next healthy eligible
 // provider (fresh virtual id, staged tables and ticket patched) when a
 // put exhausts its transient retries or hits an open circuit. Only when
-// a shard runs out of eligible providers does the whole write fail —
-// after rolling back every blob already stored, so the caller's
-// uncommitted staging leaves no orphans. Runs WITHOUT d.mu: the provider
-// round-trips are the slow part of every upload, and holding the lock
-// here would serialize all clients behind one slow provider. Only the
-// failover placement decisions re-acquire the lock briefly (the VID
-// allocator and the pending-load accounting live under it). newChunks
-// and newStripes are private to the calling request until its commit, so
-// patching them here is race-free.
-func (d *Distributor) shipStaged(pl privacy.Level, shards []stagedShard, newChunks []chunkEntry, newStripes []stripeEntry, t *writeTicket) error {
+// a shard runs out of eligible providers does the whole write fail. It
+// always returns the blobs that reached a provider — on error too — so
+// the caller can roll them back (and, for streaming uploads, fold them
+// into a rollback list spanning many shipStaged calls) and leave no
+// orphans. Runs WITHOUT d.mu: the provider round-trips are the slow
+// part of every upload, and holding the lock here would serialize all
+// clients behind one slow provider. Only the failover placement
+// decisions re-acquire the lock briefly (the VID allocator and the
+// pending-load accounting live under it). newChunks and newStripes are
+// private to the calling request until its commit, so patching them
+// here is race-free.
+func (d *Distributor) shipStaged(pl privacy.Level, shards []stagedShard, newChunks []chunkEntry, newStripes []stripeEntry, t *writeTicket) ([]storedShard, error) {
 	var stored []storedShard
 	pending := make([]int, len(shards))
 	for i := range pending {
@@ -184,8 +186,7 @@ func (d *Distributor) shipStaged(pl privacy.Level, shards []stagedShard, newChun
 			newProv, perr := d.placeParityExcluding(pl, exclude)
 			if perr != nil {
 				d.mu.Unlock()
-				d.rollbackStored(stored)
-				return fmt.Errorf("shard failover exhausted: %w (last put error: %v)", perr, errs[k])
+				return stored, fmt.Errorf("shard failover exhausted: %w (last put error: %v)", perr, errs[k])
 			}
 			s.provIdx = newProv
 			s.vid = d.vids.Next()
@@ -205,7 +206,7 @@ func (d *Distributor) shipStaged(pl privacy.Level, shards []stagedShard, newChun
 		}
 		pending = next
 	}
-	return nil
+	return stored, nil
 }
 
 // rehomePut writes payload to provider firstProv under firstVID through

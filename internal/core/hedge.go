@@ -193,7 +193,7 @@ func (d *Distributor) fetchHedged(rungs []readRung) (fetchResult, error) {
 	}()
 
 	hedged := false
-	var reconErr error
+	var reconErr, lastErr error
 	for done := 0; ; {
 		select {
 		case <-timerC:
@@ -215,11 +215,16 @@ func (d *Distributor) fetchHedged(rungs []readRung) (fetchResult, error) {
 			if rungs[res.idx].kind == rungReconstruct {
 				reconErr = res.err
 			}
+			lastErr = res.err
 			done++
 			if done == len(rungs) {
-				// Every rung failed; reconstruction always ran, so its
-				// descriptive error is available.
-				return fetchResult{}, reconErr
+				// Every rung failed. Full ladders ran reconstruction, whose
+				// error is the most descriptive; truncated ladders (the
+				// range path's direct fetches) fall back to the last rung's.
+				if reconErr != nil {
+					return fetchResult{}, reconErr
+				}
+				return fetchResult{}, lastErr
 			}
 			if done == launched {
 				// Nothing left in flight: escalate immediately rather

@@ -4,18 +4,36 @@ import (
 	"bytes"
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/provider"
 	"repro/internal/raid"
 )
+
+// rangeSpan is one chunk overlapping a requested byte range: its fetch
+// plan, its position in the file, and — after the fetch phases — its
+// verified read result.
+type rangeSpan struct {
+	plan    fetchPlan
+	fileOff int // offset of this chunk within the file
+	origLen int
+	res     fetchResult
+	ok      bool
+}
 
 // GetRange serves an arbitrary byte range of a file by fetching only the
 // chunks that overlap it — the fragmentation-side win of the paper's
 // §VII-E comparison ("This approach exploits the benefit of parallel
 // query processing as various fragments can be accessed simultaneously"):
 // a point query touches one or two chunks instead of the whole object.
-// Overlapping chunks are fetched with the same bounded fan-out as
-// GetFile; the output is assembled in file order regardless of which
-// fetch finishes first.
+//
+// The read is stripe-selective. Phase one fans the overlapping chunks
+// out over their primaries and mirrors only. Only if a chunk stays
+// unreadable does phase two reconstruct — one stripe solve per affected
+// stripe, seeded with the members phase one already verified, so a span
+// never fetches shards of stripes it does not touch, and two missing
+// members of the same stripe cost one reconstruction instead of two.
+// Every fetched buffer is returned to the pool after the assembly copies
+// the requested window out.
 func (d *Distributor) GetRange(client, password, filename string, offset, length int) ([]byte, error) {
 	if offset < 0 || length < 0 {
 		return nil, fmt.Errorf("%w: range [%d, %d)", ErrConfig, offset, offset+length)
@@ -45,12 +63,7 @@ func (d *Distributor) GetRange(client, password, filename string, offset, length
 	// Chunk original length = PayloadLen - decoy count (mislead bytes are
 	// not part of the file). Fetch plans for the overlapping chunks are
 	// snapshotted under the lock; the provider I/O happens outside it.
-	type span struct {
-		plan    fetchPlan
-		fileOff int // offset of this chunk within the file
-		origLen int
-	}
-	var spans []span
+	var spans []rangeSpan
 	cum := 0
 	for serial, idx := range fe.ChunkIdx {
 		if idx < 0 {
@@ -59,7 +72,7 @@ func (d *Distributor) GetRange(client, password, filename string, offset, length
 		}
 		entry := &d.chunks[idx]
 		if cum+entry.DataLen > offset && cum < offset+length {
-			spans = append(spans, span{plan: d.planFetch(entry), fileOff: cum, origLen: entry.DataLen})
+			spans = append(spans, rangeSpan{plan: d.planFetch(entry), fileOff: cum, origLen: entry.DataLen})
 		}
 		cum += entry.DataLen
 	}
@@ -69,22 +82,20 @@ func (d *Distributor) GetRange(client, password, filename string, offset, length
 	}
 	d.mu.RUnlock()
 
-	// Fan the span fetches out; each result lands in its own slot so the
-	// assembly below sees them in file order.
-	parts := make([][]byte, len(spans))
-	jobs := make([]func() error, len(spans))
-	for i := range spans {
-		i := i
-		jobs[i] = func() error {
-			data, err := d.fetchChunkPlan(&spans[i].plan)
-			if err != nil {
-				return err
-			}
-			parts[i] = data
-			return nil
+	// Phase one: primaries and mirrors only, fanned out across all
+	// overlapping chunks. Failures are collected, not returned — a
+	// missing member is phase two's job.
+	d.runParallel(len(spans), func(i int) {
+		sp := &spans[i]
+		if res, err := d.fetchDirect(&sp.plan); err == nil {
+			sp.res = res
+			sp.ok = true
 		}
-	}
-	if err := d.fanOut(jobs); err != nil {
+	})
+
+	// Phase two: one shared stripe solve per stripe with unreadable
+	// members, seeded with the payloads phase one verified.
+	if err := d.reconstructSpanStripes(spans); err != nil {
 		return nil, err
 	}
 
@@ -99,9 +110,137 @@ func (d *Distributor) GetRange(client, password, filename string, offset, length
 		if offset+length < sp.fileOff+sp.origLen {
 			hi = offset + length - sp.fileOff
 		}
-		out = append(out, parts[i][lo:hi]...)
+		out = append(out, sp.res.recovered[lo:hi]...)
+	}
+	// The recovered buffers are uniquely owned by this request (provider
+	// gets return copies, strip/decrypt allocate, and range reads never
+	// populate the cache), so after the copy-out they go back to the pool.
+	for i := range spans {
+		bufpool.Put(spans[i].res.recovered)
 	}
 	return out, nil
+}
+
+// fetchDirect walks a chunk's primary and mirror rungs only — no
+// reconstruction rung. The range path recovers unreadable members with
+// one shared stripe solve per group instead of a per-chunk rebuild.
+func (d *Distributor) fetchDirect(plan *fetchPlan) (fetchResult, error) {
+	rungs := d.readRungs(plan)
+	rungs = rungs[:len(rungs)-1] // drop the reconstruction rung
+	if d.hedgeAfter <= 0 {
+		return d.fetchSequential(rungs)
+	}
+	return d.fetchHedged(rungs)
+}
+
+// reconstructSpanStripes rebuilds every span chunk phase one could not
+// read. Spans are grouped by stripe; each affected stripe is solved once
+// — members already verified seed the solve as known shards, the other
+// surviving shards of that stripe (and only that stripe) are fetched
+// raw, and every missing member falls out of the same decode. Rebuilt
+// payloads are verified end-to-end before they count.
+func (d *Distributor) reconstructSpanStripes(spans []rangeSpan) error {
+	groups := make(map[int][]int) // StripeID → span indices
+	var order []int
+	for i := range spans {
+		id := spans[i].plan.entry.StripeID
+		if _, seen := groups[id]; !seen {
+			order = append(order, id)
+		}
+		groups[id] = append(groups[id], i)
+	}
+	var degraded []int
+	for _, id := range order {
+		for _, i := range groups[id] {
+			if !spans[i].ok {
+				degraded = append(degraded, id)
+				break
+			}
+		}
+	}
+	if len(degraded) == 0 {
+		return nil
+	}
+	return d.fanOutN(len(degraded), func(k int) error {
+		return d.solveSpanStripe(spans, groups[degraded[k]])
+	})
+}
+
+// solveSpanStripe reconstructs the unreadable members among one stripe's
+// spans (idxs index into spans; all share the stripe).
+func (d *Distributor) solveSpanStripe(spans []rangeSpan, idxs []int) error {
+	p0 := &spans[idxs[0]].plan
+	if p0.parityCount == 0 {
+		return fmt.Errorf("%w: provider down and no parity (raid level none)", ErrUnavailable)
+	}
+	shards := make([][]byte, p0.dataShards+p0.parityCount)
+	var pooled [][]byte
+	defer func() {
+		for _, b := range pooled {
+			bufpool.Put(b)
+		}
+	}()
+
+	spanBySlot := make(map[int]*rangeSpan, len(idxs))
+	for _, i := range idxs {
+		sp := &spans[i]
+		if sp.plan.targetSlot < 0 {
+			return fmt.Errorf("%w: chunk not a member of its stripe", ErrUnavailable)
+		}
+		spanBySlot[sp.plan.targetSlot] = sp
+	}
+	// Seed the solve with the members phase one already verified: their
+	// stored payloads, zero-padded to the stripe's shard length.
+	for slot, sp := range spanBySlot {
+		if !sp.ok {
+			continue
+		}
+		pad := bufpool.Get(p0.shardLen)
+		n := copy(pad, sp.res.payload)
+		clear(pad[n:])
+		shards[slot] = pad
+		pooled = append(pooled, pad)
+	}
+	// Fetch the remaining shards of this stripe — and no other — raw.
+	// Slots of members phase one failed stay empty: their bytes are
+	// exactly what could not be read or verified.
+	for _, ref := range p0.siblings {
+		if shards[ref.slot] != nil {
+			continue
+		}
+		if sp, isSpan := spanBySlot[ref.slot]; isSpan && !sp.ok {
+			continue
+		}
+		payload, err := d.rawShard(ref.provIdx, ref.vid, p0.shardLen, ref.payloadLen)
+		if err != nil {
+			continue // leave nil for the decoder
+		}
+		shards[ref.slot] = payload
+		pooled = append(pooled, payload)
+	}
+	stripe := &raid.Stripe{Level: p0.level, Shards: shards, DataShards: p0.dataShards}
+	if err := stripe.Reconstruct(); err != nil {
+		return fmt.Errorf("%w: reconstruction failed: %v", ErrUnavailable, err)
+	}
+	for slot, sp := range spanBySlot {
+		if sp.ok {
+			continue
+		}
+		rebuilt := stripe.Shards[slot]
+		if len(rebuilt) < sp.plan.entry.PayloadLen {
+			return fmt.Errorf("%w: rebuilt shard shorter than payload", ErrUnavailable)
+		}
+		payload := make([]byte, sp.plan.entry.PayloadLen)
+		copy(payload, rebuilt)
+		recovered, err := stripAndVerify(&sp.plan.entry, payload)
+		if err != nil {
+			return fmt.Errorf("%w: reconstruction yields corrupt payload: %v", ErrUnavailable, err)
+		}
+		sp.res = fetchResult{payload: payload, recovered: recovered}
+		sp.ok = true
+		d.counters.reconstructions.Add(1)
+	}
+	return nil
 }
 
 // ScrubReport summarizes an integrity pass.
@@ -121,6 +260,10 @@ type ScrubReport struct {
 	ParityChecked      int
 	ParityRepaired     int
 	ParityUnrepairable int
+	// ParitySkipped counts parity repairs withheld because the stripe
+	// mutated concurrently — the parity phase's counterpart of Skipped,
+	// kept separate so the two phases' counts never alias.
+	ParitySkipped int
 }
 
 // Scrub verifies every stored chunk against its checksum and rewrites any
@@ -222,24 +365,28 @@ func (d *Distributor) Scrub() (ScrubReport, error) {
 	return rep, nil
 }
 
+// stripeScrubItem is one parity-carrying stripe snapshotted for the
+// scrub's second phase.
+type stripeScrubItem struct {
+	level       raid.Level
+	shardLen    int
+	parity      []parityShard
+	memberPlans []fetchPlan
+	fe          *fileEntry
+	gen         uint64
+	client      string
+	filename    string
+}
+
 // scrubParity is Scrub's second phase: recompute every stripe's parity
 // from its (verified) member payloads and rewrite any parity blob that
 // is missing, truncated or holds different bytes. The same generation
 // re-check as chunk repair applies — a stripe mutated since the snapshot
-// belongs to a newer write and is left to the next scrub.
+// belongs to a newer write and is left to the next scrub (counted in
+// ParitySkipped).
 func (d *Distributor) scrubParity(rep *ScrubReport) {
 	d.mu.RLock()
-	type stripeItem struct {
-		level       raid.Level
-		shardLen    int
-		parity      []parityShard
-		memberPlans []fetchPlan
-		fe          *fileEntry
-		gen         uint64
-		client      string
-		filename    string
-	}
-	items := make([]stripeItem, 0, len(d.stripes))
+	items := make([]stripeScrubItem, 0, len(d.stripes))
 	for si := range d.stripes {
 		st := &d.stripes[si]
 		if len(st.Parity) == 0 || len(st.Members) == 0 {
@@ -250,7 +397,7 @@ func (d *Distributor) scrubParity(rep *ScrubReport) {
 			continue
 		}
 		fe := d.clients[owner.Client].Files[owner.Filename]
-		it := stripeItem{
+		it := stripeScrubItem{
 			level:    st.Level,
 			shardLen: st.ShardLen,
 			parity:   append([]parityShard(nil), st.Parity...),
@@ -267,61 +414,72 @@ func (d *Distributor) scrubParity(rep *ScrubReport) {
 	d.mu.RUnlock()
 
 	for k := range items {
-		it := &items[k]
-		rep.ParityChecked += len(it.parity)
+		d.scrubStripeParity(&items[k], rep)
+	}
+}
 
-		// Parity is computed over the zero-padded stored payloads, so the
-		// members must be readable (any healthy source) to know the truth.
-		padded := make([][]byte, len(it.memberPlans))
-		readable := true
-		for mi := range it.memberPlans {
-			payload, err := d.fetchPayloadPlan(&it.memberPlans[mi])
-			if err != nil {
-				readable = false
-				break
-			}
-			pad := make([]byte, it.shardLen)
-			copy(pad, payload)
-			padded[mi] = pad
+// scrubStripeParity verifies and repairs one stripe's parity shards. The
+// padded member copies and recomputed parity live in pooled scratch
+// released before returning.
+func (d *Distributor) scrubStripeParity(it *stripeScrubItem, rep *ScrubReport) {
+	rep.ParityChecked += len(it.parity)
+
+	var scratch [][]byte
+	defer func() {
+		for _, b := range scratch {
+			bufpool.Put(b)
 		}
-		if !readable {
+	}()
+
+	// Parity is computed over the zero-padded stored payloads, so the
+	// members must be readable (any healthy source) to know the truth.
+	padded := make([][]byte, len(it.memberPlans))
+	for mi := range it.memberPlans {
+		payload, err := d.fetchPayloadPlan(&it.memberPlans[mi])
+		if err != nil {
 			rep.ParityUnrepairable += len(it.parity)
+			return
+		}
+		pad := bufpool.Get(it.shardLen)
+		n := copy(pad, payload)
+		clear(pad[n:])
+		padded[mi] = pad
+		scratch = append(scratch, pad)
+	}
+	expected := make([][]byte, it.level.ParityShards())
+	for i := range expected {
+		expected[i] = bufpool.Get(it.shardLen)
+		scratch = append(scratch, expected[i])
+	}
+	if err := raid.ParityInto(it.level, padded, expected); err != nil {
+		rep.ParityUnrepairable += len(it.parity)
+		return
+	}
+
+	for pi, ps := range it.parity {
+		if pi >= len(expected) {
+			break
+		}
+		got, ok := d.tryGet(ps.CPIndex, ps.VirtualID, it.shardLen)
+		if ok && bytes.Equal(got, expected[pi]) {
+			continue // healthy
+		}
+		d.mu.RLock()
+		feNow, ok := d.clients[it.client].Files[it.filename]
+		changed := !ok || feNow != it.fe || feNow.Gen != it.gen
+		d.mu.RUnlock()
+		if changed {
+			rep.ParitySkipped++
 			continue
 		}
-		expected := make([][]byte, it.level.ParityShards())
-		for i := range expected {
-			expected[i] = make([]byte, it.shardLen)
-		}
-		if err := raid.ParityInto(it.level, padded, expected); err != nil {
-			rep.ParityUnrepairable += len(it.parity)
-			continue
-		}
-
-		for pi, ps := range it.parity {
-			if pi >= len(expected) {
-				break
-			}
-			got, ok := d.tryGet(ps.CPIndex, ps.VirtualID, it.shardLen)
-			if ok && bytes.Equal(got, expected[pi]) {
-				continue // healthy
-			}
-			d.mu.RLock()
-			feNow, ok := d.clients[it.client].Files[it.filename]
-			changed := !ok || feNow != it.fe || feNow.Gen != it.gen
-			d.mu.RUnlock()
-			if changed {
-				rep.Skipped++
-				continue
-			}
-			ps := ps
-			pi := pi
-			if e := d.providerOp(ps.CPIndex, func(p provider.Provider) error {
-				return p.Put(ps.VirtualID, expected[pi])
-			}); e != nil {
-				rep.ParityUnrepairable++
-			} else {
-				rep.ParityRepaired++
-			}
+		ps := ps
+		pi := pi
+		if e := d.providerOp(ps.CPIndex, func(p provider.Provider) error {
+			return p.Put(ps.VirtualID, expected[pi])
+		}); e != nil {
+			rep.ParityUnrepairable++
+		} else {
+			rep.ParityRepaired++
 		}
 	}
 }

@@ -11,6 +11,61 @@ import (
 	"repro/internal/raid"
 )
 
+// validateUpload checks the argument surface shared by Upload and
+// UploadStream and resolves the effective RAID level. It reads only
+// immutable configuration, so it takes no lock.
+func (d *Distributor) validateUpload(filename string, pl privacy.Level, opts UploadOptions) (raid.Level, error) {
+	if filename == "" {
+		return 0, fmt.Errorf("%w: empty filename", ErrConfig)
+	}
+	if !pl.Valid() {
+		return 0, fmt.Errorf("%w: privacy level %v", ErrConfig, pl)
+	}
+	if opts.MisleadFraction < 0 || opts.MisleadFraction >= 1 {
+		return 0, fmt.Errorf("%w: mislead fraction %v outside [0,1)", ErrConfig, opts.MisleadFraction)
+	}
+	if opts.Replicas < 0 {
+		return 0, fmt.Errorf("%w: replicas %d", ErrConfig, opts.Replicas)
+	}
+	if len(opts.EncryptKey) > 0 {
+		switch len(opts.EncryptKey) {
+		case 16, 24, 32:
+		default:
+			return 0, fmt.Errorf("%w: encryption key must be 16, 24 or 32 bytes", ErrConfig)
+		}
+		if opts.MisleadFraction > 0 || len(opts.MisleadLines) > 0 {
+			return 0, fmt.Errorf("%w: misleading data and encryption are mutually exclusive", ErrConfig)
+		}
+	}
+	level := opts.Assurance
+	if level == 0 {
+		level = d.defaultRaid
+	}
+	if opts.NoParity {
+		level = raid.None
+	}
+	if !level.Valid() {
+		return 0, fmt.Errorf("%w: raid level %v", ErrConfig, level)
+	}
+	return level, nil
+}
+
+// preparePayload builds a chunk's stored payload from its original data:
+// encryption, line decoys or byte decoys per opts. The mislead RNG and
+// the encryption nonce are d.mu-guarded, so callers hold d.mu.
+func (d *Distributor) preparePayload(data []byte, encKey []byte, opts UploadOptions) ([]byte, mislead.Injection, error) {
+	switch {
+	case encKey != nil:
+		payload, err := cryptofrag.Encrypt(encKey, data, d.nextEncNonce())
+		return payload, mislead.Injection{}, err
+	case len(opts.MisleadLines) > 0:
+		return mislead.InjectLines(data, opts.MisleadLines, d.misleadRNG)
+	case opts.MisleadFraction > 0:
+		return mislead.Inject(data, opts.MisleadFraction, d.misleadRNG)
+	}
+	return data, mislead.Injection{}, nil
+}
+
 // Upload receives a file from a client, fragments it according to the
 // file's privacy level, optionally injects misleading bytes, stripes the
 // chunks with RAID parity and scatters everything over the provider
@@ -27,37 +82,9 @@ import (
 // provider counts folded in atomically — or, on a failed ship, the
 // staging is withdrawn and stored blobs rolled back, leaving no trace.
 func (d *Distributor) Upload(client, password, filename string, data []byte, pl privacy.Level, opts UploadOptions) (FileInfo, error) {
-	if filename == "" {
-		return FileInfo{}, fmt.Errorf("%w: empty filename", ErrConfig)
-	}
-	if !pl.Valid() {
-		return FileInfo{}, fmt.Errorf("%w: privacy level %v", ErrConfig, pl)
-	}
-	if opts.MisleadFraction < 0 || opts.MisleadFraction >= 1 {
-		return FileInfo{}, fmt.Errorf("%w: mislead fraction %v outside [0,1)", ErrConfig, opts.MisleadFraction)
-	}
-	if opts.Replicas < 0 {
-		return FileInfo{}, fmt.Errorf("%w: replicas %d", ErrConfig, opts.Replicas)
-	}
-	if len(opts.EncryptKey) > 0 {
-		switch len(opts.EncryptKey) {
-		case 16, 24, 32:
-		default:
-			return FileInfo{}, fmt.Errorf("%w: encryption key must be 16, 24 or 32 bytes", ErrConfig)
-		}
-		if opts.MisleadFraction > 0 || len(opts.MisleadLines) > 0 {
-			return FileInfo{}, fmt.Errorf("%w: misleading data and encryption are mutually exclusive", ErrConfig)
-		}
-	}
-	level := opts.Assurance
-	if level == 0 {
-		level = d.defaultRaid
-	}
-	if opts.NoParity {
-		level = raid.None
-	}
-	if !level.Valid() {
-		return FileInfo{}, fmt.Errorf("%w: raid level %v", ErrConfig, level)
+	level, err := d.validateUpload(filename, pl, opts)
+	if err != nil {
+		return FileInfo{}, err
 	}
 
 	// ---- Plan: stage everything under the lock, mutate nothing live ----
@@ -116,20 +143,11 @@ func (d *Distributor) Upload(client, password, filename string, data []byte, pl 
 	}
 	prep := make([]prepared, len(chunks))
 	for i, ch := range chunks {
-		payload := ch.Data
-		var inj mislead.Injection
-		switch {
-		case encKey != nil:
-			payload, err = cryptofrag.Encrypt(encKey, ch.Data, d.nextEncNonce())
-		case len(opts.MisleadLines) > 0:
-			payload, inj, err = mislead.InjectLines(ch.Data, opts.MisleadLines, d.misleadRNG)
-		case opts.MisleadFraction > 0:
-			payload, inj, err = mislead.Inject(ch.Data, opts.MisleadFraction, d.misleadRNG)
-		}
-		if err != nil {
+		payload, inj, perr := d.preparePayload(ch.Data, encKey, opts)
+		if perr != nil {
 			abortLocked()
 			d.mu.Unlock()
-			return FileInfo{}, err
+			return FileInfo{}, perr
 		}
 		prep[i] = prepared{payload: payload, inj: inj, sum: ch.Sum, dataLen: len(ch.Data)}
 	}
@@ -269,13 +287,15 @@ func (d *Distributor) Upload(client, password, filename string, data []byte, pl 
 	d.mu.Unlock()
 
 	// ---- Ship: all provider puts happen without the lock ----
-	// shipStaged fails individual shards over to other healthy providers
-	// and rolls back anything already stored if a shard runs out of
-	// providers, so a failed upload leaves no orphan blobs.
-	if err := d.shipStaged(pl, shards, newChunks, newStripes, t); err != nil {
+	// shipStaged fails individual shards over to other healthy providers;
+	// if a shard runs out of providers, everything already stored is
+	// rolled back here, so a failed upload leaves no orphan blobs.
+	stored, err := d.shipStaged(pl, shards, newChunks, newStripes, t)
+	if err != nil {
 		d.mu.Lock()
 		abortLocked()
 		d.mu.Unlock()
+		d.rollbackStored(stored)
 		return FileInfo{}, fmt.Errorf("core: upload aborted: %w", err)
 	}
 
@@ -308,7 +328,7 @@ func (d *Distributor) Upload(client, password, filename string, data []byte, pl 
 	if err := d.logAppendLocked(rec); err != nil {
 		abortLocked()
 		d.mu.Unlock()
-		d.rollbackStored(shardsStored(shards))
+		d.rollbackStored(stored)
 		return FileInfo{}, fmt.Errorf("core: upload aborted: %w", err)
 	}
 	d.chunks = append(d.chunks, newChunks...)

@@ -124,8 +124,10 @@ type Result struct {
 
 	UploadsAttempted int
 	UploadsOK        int
+	StreamUploads    int // uploads driven through UploadStream (io.Reader path)
 	ReadsAttempted   int
 	ReadsOK          int
+	StreamReads      int // whole-file reads driven through GetFileTo (io.Writer path)
 	Updates          int
 	Removes          int
 	Scrubs           int
@@ -255,12 +257,13 @@ func Run(cfg Config) (Result, error) {
 	}
 	build := func() (*core.Distributor, error) {
 		return core.New(core.Config{
-			Fleet:       fleet,
-			StripeWidth: 3,
-			Parallelism: 1, // sequential provider I/O: determinism anchor
-			Secret:      []byte("simcheck-prf-secret"),
-			MisleadSeed: cfg.Seed,
-			CacheBytes:  cfg.CacheBytes,
+			Fleet:        fleet,
+			StripeWidth:  3,
+			Parallelism:  1, // sequential provider I/O: determinism anchor
+			StreamWindow: 1, // lockstep streaming: same determinism anchor
+			Secret:       []byte("simcheck-prf-secret"),
+			MisleadSeed:  cfg.Seed,
+			CacheBytes:   cfg.CacheBytes,
 			Health: health.Config{
 				Cooldown: 8 * time.Millisecond,
 				Clock:    func() time.Time { return time.Unix(0, vnow.Load()) },
@@ -446,9 +449,23 @@ func (r *runner) opUpload(i int) {
 		opts.Replicas = 1
 	}
 	r.res.UploadsAttempted++
-	fi, err := r.d.Upload(client, password, name, data, pl, opts)
-	r.tr.addf("op=%d upload c=%s f=%s pl=%d size=%d raid=%v np=%v ml=%.2f rep=%d -> %s",
-		i, client, name, pl, len(data), opts.Assurance, opts.NoParity, opts.MisleadFraction, opts.Replicas, errClass(err))
+	// Half the uploads take the streaming path (UploadStream over an
+	// io.Reader, window 1), so every fault schedule also exercises the
+	// windowed plan→ship→commit pipeline and its rollback.
+	var (
+		fi   core.FileInfo
+		err  error
+		verb = "upload"
+	)
+	if r.rng.Intn(2) == 0 {
+		verb = "ustream"
+		r.res.StreamUploads++
+		fi, err = r.d.UploadStream(client, password, name, bytes.NewReader(data), pl, opts)
+	} else {
+		fi, err = r.d.Upload(client, password, name, data, pl, opts)
+	}
+	r.tr.addf("op=%d %s c=%s f=%s pl=%d size=%d raid=%v np=%v ml=%.2f rep=%d -> %s",
+		i, verb, client, name, pl, len(data), opts.Assurance, opts.NoParity, opts.MisleadFraction, opts.Replicas, errClass(err))
 	if err == nil {
 		r.res.UploadsOK++
 		r.m.addFile(client, name, data, pl, fi.Raid)
@@ -475,6 +492,22 @@ func (r *runner) checkRead(i int, f *modelFile, what string, got, want []byte, e
 
 func (r *runner) opGetFile(i int, live []*modelFile) *Violation {
 	f := r.pick(live)
+	// Half the whole-file reads stream through GetFileTo (window 1), so
+	// the ordered-delivery path faces the same fault schedules as the
+	// buffered one. A failed streamed read may leave a partial prefix in
+	// the buffer; only a *successful* read must match the model.
+	if r.rng.Intn(2) == 0 {
+		r.res.StreamReads++
+		var buf bytes.Buffer
+		n, err := r.d.GetFileTo(&buf, f.client, password, f.name)
+		r.tr.addf("op=%d getfileto c=%s f=%s n=%d -> %s", i, f.client, f.name, n, errClass(err))
+		got := buf.Bytes()
+		if err == nil && int64(len(got)) != n {
+			return r.violation(i, "read-integrity",
+				fmt.Sprintf("GetFileTo of %s/%s reported %d bytes but wrote %d", f.client, f.name, n, len(got)))
+		}
+		return r.checkRead(i, f, "GetFileTo", got, f.bytes(), err)
+	}
 	got, err := r.d.GetFile(f.client, password, f.name)
 	r.tr.addf("op=%d getfile c=%s f=%s -> %s", i, f.client, f.name, errClass(err))
 	return r.checkRead(i, f, "GetFile", got, f.bytes(), err)

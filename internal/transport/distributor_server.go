@@ -35,6 +35,8 @@ func NewDistributorServer(d *core.Distributor) *DistributorServer {
 	s.mux.HandleFunc("GET /v1/tables/clients", s.clientTable)
 	s.mux.HandleFunc("GET /v1/tables/chunks", s.chunkTable)
 	s.mux.HandleFunc("POST /v1/get_range", s.getRange)
+	s.mux.HandleFunc("POST /v1/stream/upload", s.streamUpload)
+	s.mux.HandleFunc("GET /v1/stream/file", s.streamFile)
 	s.mux.HandleFunc("POST /v1/admin/scrub", s.scrub)
 	s.mux.HandleFunc("POST /v1/admin/decommission", s.decommission)
 	s.mux.HandleFunc("GET /v1/stats", s.stats)
