@@ -14,11 +14,15 @@
 // With -load it additionally embeds a cmd/cloudbench mixed-workload
 // report (latency percentiles + throughput timeline) as the "load"
 // record, so load-harness runs land in the same BENCH_N.json trajectory
-// as the microbenchmarks.
+// as the microbenchmarks. Repeatable -scaling flags condense further
+// cloudbench reports — one per distributor count — into the "scaling"
+// curve plus "scaling_speedups" (put+get throughput vs the
+// 1-distributor point).
 //
 // Usage: go test -bench . -benchmem ./... | benchjson -out BENCH.json
 //
 //	benchjson -load cloudbench.json -out BENCH.json < /dev/null
+//	benchjson -scaling d1.json -scaling d2.json -scaling d4.json -out BENCH.json < /dev/null
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -99,6 +104,35 @@ type report struct {
 	BaselineSpeedups map[string]float64  `json:"baseline_speedups"`
 	Baselines        map[string]baseline `json:"baselines"`
 	Load             *loadreport.Report  `json:"load,omitempty"`
+	Scaling          []scalingPoint      `json:"scaling,omitempty"`
+	ScalingSpeedups  map[string]float64  `json:"scaling_speedups,omitempty"`
+}
+
+// scalingPoint condenses one cloudbench run of the multi-distributor
+// scaling sweep: the same workload profile replayed against 1, 2, 4, …
+// shards. putget_ops_per_s is the aggregate put+get throughput the
+// scaling acceptance criterion is measured on.
+type scalingPoint struct {
+	Distributors  int     `json:"distributors"`
+	PutGetOpsPerS float64 `json:"putget_ops_per_s"`
+	TotalOpsPerS  float64 `json:"total_ops_per_s"`
+	TotalMBPerS   float64 `json:"total_mb_per_s"`
+	Errors        int64   `json:"errors"`
+}
+
+// scalingFromLoad condenses a full cloudbench report to its sweep point.
+func scalingFromLoad(lr *loadreport.Report) scalingPoint {
+	d := lr.Config.Distributors
+	if d == 0 {
+		d = 1
+	}
+	return scalingPoint{
+		Distributors:  d,
+		PutGetOpsPerS: round2(lr.Ops["put"].OpsPerS + lr.Ops["get"].OpsPerS),
+		TotalOpsPerS:  lr.Total.OpsPerS,
+		TotalMBPerS:   lr.Total.MBPerS,
+		Errors:        lr.Errors,
+	}
 }
 
 // readLoad parses a cmd/cloudbench report for embedding.
@@ -125,6 +159,11 @@ var benchLine = regexp.MustCompile(
 func main() {
 	out := flag.String("out", "", "write the JSON report to this file ('' or '-' = stdout)")
 	loadPath := flag.String("load", "", "embed this cloudbench JSON report as the load record")
+	var scalingPaths []string
+	flag.Func("scaling", "cloudbench JSON report for one point of the distributor-scaling sweep (repeatable)", func(p string) error {
+		scalingPaths = append(scalingPaths, p)
+		return nil
+	})
 	flag.Parse()
 
 	var load *loadreport.Report
@@ -135,6 +174,16 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	var scaling []scalingPoint
+	for _, p := range scalingPaths {
+		lr, err := readLoad(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: scaling report:", err)
+			os.Exit(1)
+		}
+		scaling = append(scaling, scalingFromLoad(lr))
+	}
+	sort.Slice(scaling, func(i, j int) bool { return scaling[i].Distributors < scaling[j].Distributors })
 
 	results := make(map[string]result)
 	sc := bufio.NewScanner(os.Stdin)
@@ -166,13 +215,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
 		os.Exit(1)
 	}
-	if len(results) == 0 && load == nil {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin and no -load report")
+	if len(results) == 0 && load == nil && len(scaling) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin and no -load/-scaling reports")
 		os.Exit(1)
 	}
 
 	rep := report{
 		Load:             load,
+		Scaling:          scaling,
 		Results:          results,
 		KernelSpeedups:   make(map[string]float64),
 		TailSpeedups:     make(map[string]float64),
@@ -211,6 +261,22 @@ func main() {
 		}
 		if base.AllocsOp > 0 && r.AllocsOp > 0 {
 			rep.BaselineSpeedups[name+"#allocs"] = round2(float64(base.AllocsOp) / float64(r.AllocsOp))
+		}
+	}
+	// Scaling speedups: every sweep point's put+get throughput against
+	// the 1-distributor point of the same sweep.
+	if len(rep.Scaling) > 0 {
+		var base float64
+		for _, p := range rep.Scaling {
+			if p.Distributors == 1 {
+				base = p.PutGetOpsPerS
+			}
+		}
+		if base > 0 {
+			rep.ScalingSpeedups = make(map[string]float64)
+			for _, p := range rep.Scaling {
+				rep.ScalingSpeedups[fmt.Sprintf("%dx", p.Distributors)] = round2(p.PutGetOpsPerS / base)
+			}
 		}
 	}
 
@@ -256,6 +322,11 @@ func main() {
 		if rep.Load.Errors > 0 {
 			fmt.Printf("  load    %d op errors\n", rep.Load.Errors)
 		}
+	}
+	for _, p := range rep.Scaling {
+		fmt.Printf("  scale   %2d distributors  put+get %9.1f ops/s  total %9.1f ops/s  %7.2f MB/s  %d err  (%.2fx)\n",
+			p.Distributors, p.PutGetOpsPerS, p.TotalOpsPerS, p.TotalMBPerS, p.Errors,
+			rep.ScalingSpeedups[fmt.Sprintf("%dx", p.Distributors)])
 	}
 }
 

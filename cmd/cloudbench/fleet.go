@@ -19,6 +19,19 @@ import (
 // through RemoteProvider clients, so the measured stack is the full
 // networked architecture, not an in-process shortcut.
 func startLocalFleet(n int, provLatency time.Duration, cacheBytes int64, hedgeAfter time.Duration, streamWindow int) (string, func(), error) {
+	urls, shutdown, err := startLocalShards(1, n, provLatency, cacheBytes, hedgeAfter, streamWindow)
+	if err != nil {
+		return "", nil, err
+	}
+	return urls[0], shutdown, nil
+}
+
+// startLocalShards stands up d independent distributors, each over its
+// own fleet of n loopback provider servers — the local form of the
+// sharded deployment the scaling curve measures. Each shard owns its
+// providers outright (no shared fleet), so throughput scales with
+// shard count exactly as it would across machines.
+func startLocalShards(d, n int, provLatency time.Duration, cacheBytes int64, hedgeAfter time.Duration, streamWindow int) ([]string, func(), error) {
 	var servers []*http.Server
 	shutdown := func() {
 		for _, s := range servers {
@@ -28,67 +41,74 @@ func startLocalFleet(n int, provLatency time.Duration, cacheBytes int64, hedgeAf
 	// One pooled transport for all distributor→provider connections; the
 	// default transport's 2 idle conns per host would throttle fan-out.
 	providerHTTP := &http.Client{
-		Timeout: 30 * time.Second,
-		Transport: &http.Transport{
-			MaxIdleConns:        1024,
-			MaxIdleConnsPerHost: 256,
-			IdleConnTimeout:     90 * time.Second,
-		},
+		Timeout:   30 * time.Second,
+		Transport: transport.NewPooledTransport(),
 	}
 
-	fleet, err := provider.NewFleet()
-	if err != nil {
-		return "", nil, err
-	}
-	for i := 0; i < n; i++ {
-		opts := provider.Options{}
-		if provLatency > 0 {
-			opts.Latency = provider.LatencyModel{PerOp: provLatency}
-			opts.Sleep = time.Sleep
-		}
-		mem, err := provider.New(provider.Info{
-			Name: fmt.Sprintf("bench%02d", i),
-			PL:   privacy.High,
-			CL:   privacy.CostLevel(i % 4),
-		}, opts)
+	urls := make([]string, d)
+	for s := 0; s < d; s++ {
+		fleet, err := provider.NewFleet()
 		if err != nil {
 			shutdown()
-			return "", nil, err
+			return nil, nil, err
 		}
-		url, srv, err := serveLoopback(transport.NewProviderServer(mem))
+		for i := 0; i < n; i++ {
+			opts := provider.Options{}
+			if provLatency > 0 {
+				opts.Latency = provider.LatencyModel{PerOp: provLatency}
+				opts.Sleep = time.Sleep
+			}
+			// Uniform cost level: placement prefers strictly cheaper
+			// providers and only load-balances within a cost tier, so a
+			// mixed-cost bench fleet would concentrate all load on its
+			// cheapest member and idle the rest. Equal CL turns the
+			// tie-break into least-load placement across the whole fleet —
+			// the symmetric queueing bank the throughput curve assumes.
+			mem, err := provider.New(provider.Info{
+				Name: fmt.Sprintf("s%02dp%02d", s, i),
+				PL:   privacy.High,
+				CL:   1,
+			}, opts)
+			if err != nil {
+				shutdown()
+				return nil, nil, err
+			}
+			url, srv, err := serveLoopback(transport.NewProviderServer(mem))
+			if err != nil {
+				shutdown()
+				return nil, nil, err
+			}
+			servers = append(servers, srv)
+			remote, err := transport.DialProvider(url, providerHTTP)
+			if err != nil {
+				shutdown()
+				return nil, nil, err
+			}
+			if err := fleet.Add(remote); err != nil {
+				shutdown()
+				return nil, nil, err
+			}
+		}
+
+		dist, err := core.New(core.Config{
+			Fleet:        fleet,
+			CacheBytes:   cacheBytes,
+			HedgeAfter:   hedgeAfter,
+			StreamWindow: streamWindow,
+		})
 		if err != nil {
 			shutdown()
-			return "", nil, err
+			return nil, nil, err
+		}
+		url, srv, err := serveLoopback(transport.NewDistributorServer(dist))
+		if err != nil {
+			shutdown()
+			return nil, nil, err
 		}
 		servers = append(servers, srv)
-		remote, err := transport.DialProvider(url, providerHTTP)
-		if err != nil {
-			shutdown()
-			return "", nil, err
-		}
-		if err := fleet.Add(remote); err != nil {
-			shutdown()
-			return "", nil, err
-		}
+		urls[s] = url
 	}
-
-	dist, err := core.New(core.Config{
-		Fleet:        fleet,
-		CacheBytes:   cacheBytes,
-		HedgeAfter:   hedgeAfter,
-		StreamWindow: streamWindow,
-	})
-	if err != nil {
-		shutdown()
-		return "", nil, err
-	}
-	url, srv, err := serveLoopback(transport.NewDistributorServer(dist))
-	if err != nil {
-		shutdown()
-		return "", nil, err
-	}
-	servers = append(servers, srv)
-	return url, shutdown, nil
+	return urls, shutdown, nil
 }
 
 // serveLoopback binds a handler to an ephemeral loopback port.

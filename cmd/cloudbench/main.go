@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,6 +33,7 @@ import (
 type config struct {
 	url         string
 	localN      int
+	dists       int
 	provLatency time.Duration
 	cacheBytes  int64
 	hedgeAfter  time.Duration
@@ -56,8 +58,9 @@ type config struct {
 func parseConfig(args []string) (config, error) {
 	var cfg config
 	fs := flag.NewFlagSet("cloudbench", flag.ContinueOnError)
-	fs.StringVar(&cfg.url, "url", "", "distributor base URL (empty = start an in-process fleet)")
-	fs.IntVar(&cfg.localN, "local-providers", 6, "provider count for the in-process fleet")
+	fs.StringVar(&cfg.url, "url", "", "distributor base URL, or comma-separated shard URLs (empty = start an in-process fleet)")
+	fs.IntVar(&cfg.localN, "local-providers", 6, "provider count per distributor for the in-process fleet")
+	fs.IntVar(&cfg.dists, "distributors", 1, "in-process distributor (shard) count; >1 drives a consistent-hash sharded namespace")
 	fs.DurationVar(&cfg.provLatency, "provider-latency", 0, "simulated per-op latency of in-process providers")
 	fs.Int64Var(&cfg.cacheBytes, "cache-bytes", 0, "in-process distributor chunk-cache bound (0 disables)")
 	fs.DurationVar(&cfg.hedgeAfter, "hedge-after", 50*time.Millisecond, "in-process distributor hedge delay (0 disables)")
@@ -88,6 +91,10 @@ func parseConfig(args []string) (config, error) {
 		return cfg, fmt.Errorf("pl %d out of range", cfg.pl)
 	case cfg.url == "" && cfg.localN < 1:
 		return cfg, fmt.Errorf("need -url or -local-providers >= 1")
+	case cfg.dists < 1:
+		return cfg, fmt.Errorf("distributors must be >= 1")
+	case cfg.url != "" && cfg.dists > 1:
+		return cfg, fmt.Errorf("-distributors shapes the in-process fleet; pass comma-separated shard URLs in -url instead")
 	}
 	return cfg, nil
 }
@@ -116,6 +123,9 @@ func main() {
 // run executes one full benchmark: fleet (if local), preload, timed
 // mixed load, report assembly.
 func run(cfg config) (*loadreport.Report, error) {
+	if cfg.dists < 1 {
+		cfg.dists = 1 // zero value (hand-built configs) means unsharded
+	}
 	mix, err := parseMix(cfg.mix)
 	if err != nil {
 		return nil, err
@@ -125,28 +135,57 @@ func run(cfg config) (*loadreport.Report, error) {
 		return nil, err
 	}
 
-	target := cfg.url
-	if target == "" {
+	// The driver http.Client shares one pooled transport across every
+	// shard, sized so fan-out beyond 2 conns/host never re-dials.
+	hc := &http.Client{Timeout: 2 * time.Minute, Transport: transport.NewPooledTransport()}
+
+	var (
+		client transport.API
+		target string
+	)
+	switch {
+	case cfg.url == "" && cfg.dists == 1:
 		url, shutdown, err := startLocalFleet(cfg.localN, cfg.provLatency, cfg.cacheBytes, cfg.hedgeAfter, cfg.streamW)
 		if err != nil {
 			return nil, fmt.Errorf("starting fleet: %w", err)
 		}
 		defer shutdown()
-		cfg.url = "" // report marks the run as in-process
 		target = fmt.Sprintf("in-process fleet (%d providers) at %s", cfg.localN, url)
 		cfg.urlResolved = url
-	} else {
+		client = transport.NewClient(url, hc)
+	case cfg.url == "": // sharded in-process fleet
+		urls, shutdown, err := startLocalShards(cfg.dists, cfg.localN, cfg.provLatency, cfg.cacheBytes, cfg.hedgeAfter, cfg.streamW)
+		if err != nil {
+			return nil, fmt.Errorf("starting sharded fleet: %w", err)
+		}
+		defer shutdown()
+		target = fmt.Sprintf("in-process sharded fleet (%d distributors × %d providers)", cfg.dists, cfg.localN)
+		cfg.urlResolved = urls[0]
+		sys, err := transport.NewSystem(urls, hc)
+		if err != nil {
+			return nil, err
+		}
+		client = sys
+	case strings.Contains(cfg.url, ","): // external sharded deployment
+		var urls []string
+		for _, u := range strings.Split(cfg.url, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		sys, err := transport.NewSystem(urls, hc)
+		if err != nil {
+			return nil, err
+		}
+		cfg.dists = len(urls)
+		cfg.urlResolved = urls[0]
+		target = fmt.Sprintf("sharded deployment (%d distributors)", len(urls))
+		client = sys
+	default:
 		cfg.urlResolved = cfg.url
+		target = cfg.url
+		client = transport.NewClient(cfg.url, hc)
 	}
-
-	client := transport.NewClient(cfg.urlResolved, &http.Client{
-		Timeout: 2 * time.Minute,
-		Transport: &http.Transport{
-			MaxIdleConns:        1024,
-			MaxIdleConnsPerHost: 512,
-			IdleConnTimeout:     90 * time.Second,
-		},
-	})
 	if err := client.Health(); err != nil {
 		return nil, fmt.Errorf("distributor unreachable: %w", err)
 	}
@@ -193,7 +232,7 @@ func run(cfg config) (*loadreport.Report, error) {
 // preload registers the tenants and uploads each namespace's initial
 // objects in parallel; any failure aborts the run before the clock
 // starts.
-func preload(cfg config, client *transport.Client, tenants []*tenant, sizes sizeDist) error {
+func preload(cfg config, client transport.API, tenants []*tenant, sizes sizeDist) error {
 	for _, tn := range tenants {
 		if err := client.RegisterClient(tn.name); err != nil {
 			return fmt.Errorf("register %s: %w", tn.name, err)

@@ -73,6 +73,31 @@ func TestCloudbenchSmoke(t *testing.T) {
 	}
 }
 
+// TestCloudbenchShardedSmoke drives the same short workload through a
+// 2-distributor consistent-hash namespace: every op class must still
+// complete error-free when files route across shards.
+func TestCloudbenchShardedSmoke(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.dists = 2
+	cfg.localN = 3
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("op errors under sharded fleet: %d (%+v)", rep.Errors, rep.Ops)
+	}
+	if rep.Total.Count == 0 {
+		t.Fatal("no operations measured")
+	}
+	if rep.Config.Distributors != 2 || rep.Config.Providers != 3 {
+		t.Fatalf("config echo = %+v", rep.Config)
+	}
+	if !strings.Contains(rep.Target, "2 distributors") {
+		t.Fatalf("target = %q", rep.Target)
+	}
+}
+
 func TestParseMixAndSizes(t *testing.T) {
 	if _, err := parseMix("put=1,get=2,range=3,update=4,remove=5"); err != nil {
 		t.Fatal(err)

@@ -89,6 +89,9 @@ func buildReport(cfg config, target string, workers []*worker, tl *timeline, mea
 	if cfg.url == "" {
 		rep.Config.Providers = cfg.localN
 	}
+	if cfg.dists > 1 {
+		rep.Config.Distributors = cfg.dists
+	}
 
 	sec := measured.Seconds()
 	totalHist := metrics.NewHistogram()

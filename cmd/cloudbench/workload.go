@@ -215,7 +215,7 @@ func newOpRec() *opRec { return &opRec{hist: metrics.NewHistogram()} }
 // worker drives one goroutine's share of the load.
 type worker struct {
 	rng     *rand.Rand
-	client  *transport.Client
+	client  transport.API
 	tenants []*tenant
 	mix     opMix
 	sizes   sizeDist
@@ -224,7 +224,7 @@ type worker struct {
 	recs    [opCount]*opRec
 }
 
-func newWorker(seed int64, client *transport.Client, tenants []*tenant, mix opMix, sizes sizeDist, pl privacy.Level) *worker {
+func newWorker(seed int64, client transport.API, tenants []*tenant, mix opMix, sizes sizeDist, pl privacy.Level) *worker {
 	w := &worker{
 		rng: rand.New(rand.NewSource(seed)), client: client,
 		tenants: tenants, mix: mix, sizes: sizes, pl: pl,

@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -32,6 +33,7 @@ import (
 
 func main() {
 	server := flag.String("server", "http://localhost:9000", "distributor base URL")
+	shards := flag.String("shards", "", "comma-separated shard URLs for shard-aware commands (locate)")
 	pl := flag.Int("pl", 1, "privacy level for uploads (0-3)")
 	raid6 := flag.Bool("raid6", false, "request RAID-6 assurance on upload")
 	mislead := flag.Float64("mislead", 0, "misleading-byte fraction for uploads [0,1)")
@@ -42,6 +44,14 @@ func main() {
 		usage()
 	}
 	cmd, rest := args[0], args[1:]
+	if cmd == "locate" {
+		// locate is routing-only: it builds the client-side shard router
+		// instead of a single-distributor client.
+		if err := locateCmd(*server, *shards, rest); err != nil {
+			log.Fatalf("cloudctl locate: %v", err)
+		}
+		return
+	}
 	var hc *http.Client
 	if cmd == "put" || cmd == "cat" {
 		// Streaming transfers run as long as the object is large; the
@@ -52,6 +62,52 @@ func main() {
 	if err := run(c, cmd, rest, *pl, *raid6, *mislead); err != nil {
 		log.Fatalf("cloudctl %s: %v", cmd, err)
 	}
+}
+
+// locateCmd resolves which shard owns ⟨client, filename⟩ using the same
+// consistent-hash router the data path uses, then asks that shard for
+// its replica set (primary + followers) if it runs replicated.
+func locateCmd(server, shards string, args []string) error {
+	need(args, 2, "[-shards url1,url2,...] locate <client> <filename>")
+	urls := []string{server}
+	if shards != "" {
+		urls = nil
+		for _, u := range strings.Split(shards, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+	}
+	sys, err := transport.NewSystem(urls, nil)
+	if err != nil {
+		return err
+	}
+	loc, err := sys.Locate(args[0], args[1])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("file %s/%s\n", args[0], args[1])
+	fmt.Printf("  key    %016x\n", loc.Key)
+	fmt.Printf("  shard  %d of %d\n", loc.Shard, sys.Shards())
+	fmt.Printf("  owner  %s\n", loc.ShardURL)
+	rep, err := sys.Shard(loc.Shard).HealthReport()
+	if err != nil {
+		return fmt.Errorf("owner unreachable: %w", err)
+	}
+	if len(rep.Replication) == 0 {
+		fmt.Println("  replicas: none (shard runs unreplicated)")
+		return nil
+	}
+	fmt.Println("  replicas:")
+	for _, r := range rep.Replication {
+		state := "up"
+		if r.Down {
+			state = "down"
+		}
+		fmt.Printf("    %-9s member %d  %-4s gen=%d applied=%d lag=%d\n",
+			r.Role, r.Index, state, r.Generation, r.AppliedSeq, r.LagRecords)
+	}
+	return nil
 }
 
 func run(c *transport.Client, cmd string, args []string, pl int, raid6 bool, mislead float64) error {
@@ -298,6 +354,19 @@ func run(c *transport.Client, cmd string, args []string, pl int, raid6 bool, mis
 				m.WAL.Records, m.WAL.Fsyncs, m.WAL.Checkpoints, m.WAL.SinceCheckpoint,
 				m.WAL.Replayed, m.WAL.RecoveryOrphans)
 		}
+		if rep, err := c.HealthReport(); err == nil && len(rep.Replication) > 0 {
+			fmt.Printf("\nreplication (%s):\n", rep.Status)
+			fmt.Printf("%-10s %7s %-5s %12s %12s %8s %9s\n",
+				"ROLE", "MEMBER", "STATE", "GENERATION", "APPLIED", "LAG", "NEEDSNAP")
+			for _, r := range rep.Replication {
+				state := "up"
+				if r.Down {
+					state = "down"
+				}
+				fmt.Printf("%-10s %7d %-5s %12d %12d %8d %9v\n",
+					r.Role, r.Index, state, r.Generation, r.AppliedSeq, r.LagRecords, r.NeedSnapshot)
+			}
+		}
 		return nil
 	case "wal-info":
 		need(args, 1, "wal-info <wal-dir>")
@@ -371,7 +440,8 @@ commands:
   decommission <provider-index>
   tables
   stats
-  health
+  health               (providers, op metrics, replication lag if clustered)
+  locate <client> <filename>   (with -shards: owning shard + replica set)
   wal-info <wal-dir>   (offline: inventory + replay-validate a WAL directory)`)
 	os.Exit(2)
 }

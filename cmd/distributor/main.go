@@ -7,6 +7,12 @@
 //
 //	distributor -addr :9000 -providers http://localhost:9001,http://localhost:9002,http://localhost:9003
 //	distributor -addr :9000 -local-providers 5
+//
+// With -shards the process instead runs as a thin routing proxy over an
+// existing fleet of distributors: it owns no providers and no metadata,
+// only the consistent-hash routing decision:
+//
+//	distributor -addr :8999 -shards http://localhost:9000,http://localhost:9001
 package main
 
 import (
@@ -45,8 +51,14 @@ func main() {
 		walSync   = flag.String("wal-sync", "grouped", "WAL sync policy: always, grouped, off")
 		snapEvery = flag.Int("snapshot-every", 0, "checkpoint cadence in committed records (0 = default 4096)")
 		drainT    = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound for draining in-flight writes")
+		shards    = flag.String("shards", "", "run as a shard-routing proxy over these distributor base URLs (no local providers)")
 	)
 	flag.Parse()
+
+	if *shards != "" {
+		runShardProxy(*addr, *shards, *drainT)
+		return
+	}
 
 	policy, err := wal.ParseSyncPolicy(*walSync)
 	if err != nil {
@@ -103,6 +115,44 @@ func main() {
 			log.Fatalf("distributor: close: %v", err)
 		}
 		fmt.Println("clean shutdown: final checkpoint written")
+	}
+}
+
+// runShardProxy serves the single-distributor wire protocol while
+// routing every data operation to the shard owning its file key.
+func runShardProxy(addr, shardURLs string, drainT time.Duration) {
+	var urls []string
+	for _, u := range strings.Split(shardURLs, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	sys, err := transport.NewSystem(urls, nil)
+	if err != nil {
+		log.Fatalf("distributor: %v", err)
+	}
+	fmt.Printf("shard-routing proxy over %d distributors listening on %s\n", sys.Shards(), addr)
+	for i, u := range sys.URLs() {
+		fmt.Printf("  shard %d: %s\n", i, u)
+	}
+
+	srv := transport.NewHTTPServer(addr, transport.NewShardProxy(sys))
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		log.Fatalf("distributor: %v", err)
+	case sig := <-sigCh:
+		fmt.Printf("received %v: draining (bound %v)\n", sig, drainT)
+		ctx, cancel := context.WithTimeout(context.Background(), drainT)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("distributor: http shutdown: %v", err)
+		}
+		fmt.Println("clean shutdown: proxy holds no state")
 	}
 }
 

@@ -3,19 +3,27 @@ package core
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/privacy"
 )
 
-// metadataSnapshot is the replicated state of a distributor: everything a
-// secondary needs to serve retrievals (Fig. 2's extended architecture).
+// metadataSnapshot is the full replicated state of a distributor:
+// everything a secondary needs to serve retrievals (Fig. 2's extended
+// architecture) plus the commit generation and allocator watermarks, so
+// an imported snapshot leaves the replica able to take over as primary
+// without re-issuing identifiers the exporter already used.
 type metadataSnapshot struct {
 	Clients   map[string]*clientEntry
 	Chunks    []chunkEntry
 	Stripes   []stripeEntry
 	ProvCount []int
+	Gen       uint64
+	FIDSeq    uint64
+	EncNonce  uint64
+	VIDCtr    uint64
 }
 
 // ExportMetadata serializes the distributor's tables for replication to
@@ -26,11 +34,24 @@ type metadataSnapshot struct {
 func (d *Distributor) ExportMetadata() ([]byte, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	return d.exportMetadataLocked()
+}
+
+// exportMetadataLocked is ExportMetadata under a caller-held read lock,
+// so a Cluster can pin the replication sequence number to the exact
+// state it serializes.
+func (d *Distributor) exportMetadataLocked() ([]byte, error) {
 	snap := metadataSnapshot{
 		Clients:   d.clients,
 		Chunks:    d.chunks,
 		Stripes:   d.stripes,
 		ProvCount: d.provCount,
+		Gen:       d.gen,
+		FIDSeq:    d.fidSeq,
+		EncNonce:  d.encNonce,
+	}
+	if prf, ok := d.vids.(*prfAllocator); ok {
+		snap.VIDCtr = prf.ctr
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
@@ -40,7 +61,10 @@ func (d *Distributor) ExportMetadata() ([]byte, error) {
 }
 
 // ImportMetadata replaces the distributor's tables with a snapshot
-// exported by another distributor over the same fleet.
+// exported by another distributor over the same fleet. The generation
+// is taken from the snapshot and the allocator watermarks only ever
+// advance — a replica must never re-issue a nonce or id its primary
+// already consumed.
 func (d *Distributor) ImportMetadata(data []byte) error {
 	var snap metadataSnapshot
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
@@ -58,6 +82,14 @@ func (d *Distributor) ImportMetadata(data []byte) error {
 	d.chunks = snap.Chunks
 	d.stripes = snap.Stripes
 	d.provCount = snap.ProvCount
+	d.gen = snap.Gen
+	if snap.FIDSeq > d.fidSeq {
+		d.fidSeq = snap.FIDSeq
+	}
+	if snap.EncNonce > d.encNonce {
+		d.encNonce = snap.EncNonce
+	}
+	d.restoreVIDCtr(snap.VIDCtr)
 	// A durable secondary must checkpoint immediately: its log records
 	// predate the imported tables and no longer replay against them.
 	if d.wal != nil && !d.closed {
@@ -68,22 +100,61 @@ func (d *Distributor) ImportMetadata(data []byte) error {
 	return nil
 }
 
+// clusterLogRetention bounds the in-memory replication log. A secondary
+// that falls further behind than this (a long outage) is caught up with
+// one full snapshot instead of an unbounded record queue.
+const clusterLogRetention = 4096
+
 // Cluster is the paper's extended architecture (Fig. 2): several Cloud
 // Data Distributors over one provider fleet. "For each client, a specific
 // distributor will act as the primary distributor that will upload data,
 // whereas other distributors will act as secondary distributors who can
-// perform the data retrieval operations." The primary's metadata is
-// replicated to the secondaries after every mutation, so retrieval keeps
-// working when the primary fails — eliminating the single point of
-// failure the paper's §IV-C identifies.
+// perform the data retrieval operations."
+//
+// Replication is incremental: the primary's commit hook feeds every
+// committed mutation's encoded WAL record into a bounded in-memory log,
+// and Sync ships only the records a secondary has not applied yet —
+// O(mutation) per op instead of the old full-snapshot-per-mutation
+// O(table) behavior. Each secondary applies records through the same
+// validated replay path recovery uses; a conflict (generation running
+// backwards) or any structural mismatch flips the member to a full
+// snapshot resync. Reads fail over primary-first and are served off the
+// follower's ordinary RWMutex/hedged read path.
+//
+// A distributor can be the primary of at most one Cluster at a time:
+// NewCluster installs the cluster's commit hook on it, displacing any
+// previous one.
 type Cluster struct {
 	mu    sync.Mutex
 	dists []*Distributor
 	down  []bool
+
+	// Replication log: log[k] is the encoded commit record with sequence
+	// number logBase+k; head is the newest sequence (0 = nothing yet),
+	// applied[i] the last sequence member i has applied (applied[0]
+	// tracks the primary and always equals head), needSnap[i] marks a
+	// secondary whose next sync must ship a full snapshot.
+	log      [][]byte
+	logBase  uint64
+	head     uint64
+	applied  []uint64
+	needSnap []bool
+
+	recordsReplicated uint64
+	snapshotSyncs     uint64
+
+	// syncMu[i-1] serializes catch-up of secondary i, so concurrent
+	// Syncs cannot double-apply a batch. Ordered above c.mu and every
+	// distributor lock.
+	syncMu []sync.Mutex
 }
 
 // NewCluster groups distributors; the first is the primary. All must
-// share the same provider fleet.
+// share the same provider fleet. Secondaries whose commit generation
+// differs from the primary's at grouping time (a recovered or foreign
+// replica) are marked for a snapshot resync on first Sync; equal
+// generations are trusted to mean equal state, which holds for replicas
+// of one WAL lineage.
 func NewCluster(dists ...*Distributor) (*Cluster, error) {
 	if len(dists) == 0 {
 		return nil, fmt.Errorf("%w: empty cluster", ErrConfig)
@@ -93,7 +164,40 @@ func NewCluster(dists ...*Distributor) (*Cluster, error) {
 			return nil, fmt.Errorf("%w: distributors must share one fleet", ErrConfig)
 		}
 	}
-	return &Cluster{dists: dists, down: make([]bool, len(dists))}, nil
+	c := &Cluster{
+		dists:    dists,
+		down:     make([]bool, len(dists)),
+		logBase:  1,
+		applied:  make([]uint64, len(dists)),
+		needSnap: make([]bool, len(dists)),
+		syncMu:   make([]sync.Mutex, len(dists)-1),
+	}
+	pgen := dists[0].Generation()
+	for i, dd := range dists[1:] {
+		if dd.Generation() != pgen {
+			c.needSnap[i+1] = true
+		}
+	}
+	dists[0].setCommitHook(func(raw []byte) {
+		// Runs under the primary's d.mu; lock order is d.mu before c.mu,
+		// so nothing here (or anywhere holding c.mu) may call back into
+		// a distributor.
+		c.mu.Lock()
+		c.head++
+		c.log = append(c.log, raw)
+		c.applied[0] = c.head
+		// Bound the queue even if nobody ever calls Sync: beyond twice
+		// the retention, fold back to retention (amortized O(1));
+		// trimmed-past members resync via snapshot.
+		if len(c.log) >= 2*clusterLogRetention {
+			rest := make([][]byte, clusterLogRetention)
+			copy(rest, c.log[len(c.log)-clusterLogRetention:])
+			c.logBase += uint64(len(c.log) - clusterLogRetention)
+			c.log = rest
+		}
+		c.mu.Unlock()
+	})
+	return c, nil
 }
 
 // Primary returns the upload distributor.
@@ -103,28 +207,205 @@ func (c *Cluster) Primary() *Distributor { return c.dists[0] }
 func (c *Cluster) Size() int { return len(c.dists) }
 
 // SetDown simulates a distributor failure (index 0 is the primary).
+// Bringing a secondary back up replays everything it missed before it
+// serves again, so a healed replica never answers from stale tables.
 func (c *Cluster) SetDown(i int, down bool) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if i < 0 || i >= len(c.dists) {
+		c.mu.Unlock()
 		return fmt.Errorf("%w: distributor index %d", ErrConfig, i)
 	}
+	was := c.down[i]
 	c.down[i] = down
+	c.mu.Unlock()
+	if was && !down && i > 0 {
+		return c.syncSecondary(i)
+	}
 	return nil
 }
 
-// Sync replicates the primary's metadata to every secondary.
+// Sync replicates the primary's outstanding commit records to every up
+// secondary. Down secondaries are skipped — their lag is visible via
+// Lag() and they catch up when SetDown brings them back — instead of
+// the old behavior of silently shipping snapshots nobody could serve.
 func (c *Cluster) Sync() error {
-	snap, err := c.dists[0].ExportMetadata()
+	var errs []error
+	for i := 1; i < len(c.dists); i++ {
+		c.mu.Lock()
+		down := c.down[i]
+		c.mu.Unlock()
+		if down {
+			continue
+		}
+		if err := c.syncSecondary(i); err != nil {
+			errs = append(errs, fmt.Errorf("core: sync to secondary %d: %w", i, err))
+		}
+	}
+	c.mu.Lock()
+	c.trimLocked()
+	c.mu.Unlock()
+	return errors.Join(errs...)
+}
+
+// syncSecondary replays secondary i forward to the primary's head:
+// incrementally when the retained log still covers its cursor, with one
+// full snapshot when it does not (or when a record refuses to apply).
+func (c *Cluster) syncSecondary(i int) error {
+	c.syncMu[i-1].Lock()
+	defer c.syncMu[i-1].Unlock()
+	for {
+		c.mu.Lock()
+		snap := c.needSnap[i] || c.applied[i]+1 < c.logBase
+		var batch [][]byte
+		if !snap {
+			if c.applied[i] >= c.head {
+				c.mu.Unlock()
+				return nil
+			}
+			batch = append([][]byte(nil), c.log[c.applied[i]+1-c.logBase:]...)
+		}
+		c.mu.Unlock()
+
+		if snap {
+			return c.snapshotSync(i)
+		}
+		for _, raw := range batch {
+			if _, err := c.dists[i].ApplyReplicated(raw); err != nil {
+				c.mu.Lock()
+				c.needSnap[i] = true
+				c.mu.Unlock()
+				if snapErr := c.snapshotSync(i); snapErr != nil {
+					return errors.Join(err, snapErr)
+				}
+				return nil
+			}
+			c.mu.Lock()
+			c.applied[i]++
+			c.recordsReplicated++
+			c.mu.Unlock()
+		}
+	}
+}
+
+// snapshotSync ships one full metadata snapshot to secondary i and
+// fast-forwards its cursor to the sequence the snapshot covers.
+func (c *Cluster) snapshotSync(i int) error {
+	raw, upTo, err := c.exportPrimaryWithSeq()
 	if err != nil {
 		return err
 	}
-	for i, dd := range c.dists[1:] {
-		if err := dd.ImportMetadata(snap); err != nil {
-			return fmt.Errorf("core: sync to secondary %d: %w", i+1, err)
+	if err := c.dists[i].ImportMetadata(raw); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.applied[i] = upTo
+	c.needSnap[i] = false
+	c.snapshotSyncs++
+	c.mu.Unlock()
+	return nil
+}
+
+// exportPrimaryWithSeq snapshots the primary's tables together with the
+// replication sequence the snapshot covers. Commits append to the
+// cluster log under the primary's write lock, so holding its read lock
+// pins head to exactly the serialized state — no record can land in
+// between and be skipped by the fast-forwarded cursor.
+func (c *Cluster) exportPrimaryWithSeq() ([]byte, uint64, error) {
+	p := c.dists[0]
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	c.mu.Lock()
+	upTo := c.head
+	c.mu.Unlock()
+	raw, err := p.exportMetadataLocked()
+	return raw, upTo, err
+}
+
+// trimLocked drops log entries every reachable secondary has applied
+// and bounds the rest to clusterLogRetention; a member trimmed past is
+// detected by its cursor falling behind logBase and resynced with a
+// snapshot. Callers hold c.mu.
+func (c *Cluster) trimLocked() {
+	min := c.head
+	for i := 1; i < len(c.dists); i++ {
+		if c.needSnap[i] || c.applied[i]+1 < c.logBase {
+			continue
+		}
+		if c.applied[i] < min {
+			min = c.applied[i]
 		}
 	}
-	return nil
+	drop := int(min + 1 - c.logBase)
+	if over := len(c.log) - drop - clusterLogRetention; over > 0 {
+		drop += over
+	}
+	if drop <= 0 {
+		return
+	}
+	rest := make([][]byte, len(c.log)-drop)
+	copy(rest, c.log[drop:])
+	c.log = rest
+	c.logBase += uint64(drop)
+}
+
+// ReplicaLag is one cluster member's replication position: how far its
+// applied state trails the primary, in commit records and generations.
+type ReplicaLag struct {
+	Index        int    `json:"index"`
+	Role         string `json:"role"` // "primary" or "secondary"
+	Down         bool   `json:"down"`
+	Generation   uint64 `json:"generation"`  // member's last-applied commit generation
+	AppliedSeq   uint64 `json:"applied_seq"` // last replication sequence applied
+	LagRecords   uint64 `json:"lag_records"` // commit records behind the primary
+	NeedSnapshot bool   `json:"needs_snapshot,omitempty"`
+}
+
+// Lag reports every member's replication position, primary first. This
+// is the staleness the old Sync hid: a down secondary keeps serving its
+// last-applied generation, and the gap is visible here (and on
+// /v1/health) instead of silently growing.
+func (c *Cluster) Lag() []ReplicaLag {
+	c.mu.Lock()
+	out := make([]ReplicaLag, len(c.dists))
+	for i := range c.dists {
+		out[i] = ReplicaLag{
+			Index:        i,
+			Role:         "secondary",
+			Down:         c.down[i],
+			AppliedSeq:   c.applied[i],
+			LagRecords:   c.head - c.applied[i],
+			NeedSnapshot: c.needSnap[i],
+		}
+	}
+	out[0].Role = "primary"
+	c.mu.Unlock()
+	// Generations are read outside c.mu: distributor locks are ordered
+	// above the cluster lock.
+	for i := range out {
+		out[i].Generation = c.dists[i].Generation()
+	}
+	return out
+}
+
+// ReplicationStats summarizes the cluster's replication machinery, for
+// tests and operator tooling.
+type ReplicationStats struct {
+	Head              uint64 // commit records fed by the primary
+	RecordsReplicated uint64 // incremental applies across all secondaries
+	SnapshotSyncs     uint64 // full-snapshot fallbacks
+	LogLen            int    // records currently retained
+}
+
+// ReplicationStats returns a snapshot of the replication counters.
+func (c *Cluster) ReplicationStats() ReplicationStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ReplicationStats{
+		Head:              c.head,
+		RecordsReplicated: c.recordsReplicated,
+		SnapshotSyncs:     c.snapshotSyncs,
+		LogLen:            len(c.log),
+	}
 }
 
 // primaryUp reports whether uploads can proceed.

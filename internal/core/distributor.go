@@ -144,6 +144,11 @@ type Distributor struct {
 	walTailTruncated     bool
 	recoveryOrphans      int64
 	walCheckpointErrs    atomic.Int64
+
+	// commitHook, when set (via setCommitHook), observes every committed
+	// mutation's encoded WAL record under d.mu — the replication feed a
+	// Cluster taps. Nil outside cluster membership.
+	commitHook func(raw []byte)
 }
 
 // nextEncNonce returns a fresh AES-CTR nonce. Callers hold d.mu.

@@ -100,13 +100,17 @@ const defaultSnapshotEvery = 4096
 // Crashed); the owning mutation aborts cleanly.
 var errClosed = errors.New("core: distributor closed")
 
-// logAppendLocked fills rec's allocator watermarks and appends it to the
-// WAL, honoring the sync policy. A nil WAL (in-memory distributor) is a
-// no-op. Callers hold d.mu and MUST abort their commit — leaving the
-// tables untouched and rolling back shipped blobs — when this fails:
-// a mutation that is not durable must not become visible.
+// logAppendLocked fills rec's allocator watermarks, appends it to the
+// WAL (honoring the sync policy) and hands the encoded record to the
+// commit hook, which is how a Cluster feeds incremental replication. A
+// nil WAL with no hook (plain in-memory distributor) is a no-op.
+// Callers hold d.mu and MUST abort their commit — leaving the tables
+// untouched and rolling back shipped blobs — when this fails: a
+// mutation that is not durable must not become visible. The hook runs
+// only after a successful append, so every record it sees is exactly a
+// committed mutation.
 func (d *Distributor) logAppendLocked(rec *walRecord) error {
-	if d.wal == nil {
+	if d.wal == nil && d.commitHook == nil {
 		return nil
 	}
 	if d.closed {
@@ -117,10 +121,27 @@ func (d *Distributor) logAppendLocked(rec *walRecord) error {
 	if prf, ok := d.vids.(*prfAllocator); ok {
 		rec.VIDCtr = prf.ctr
 	}
-	if err := d.wal.Append(encodeWALRecord(rec)); err != nil {
-		return fmt.Errorf("core: wal append: %w", err)
+	raw := encodeWALRecord(rec)
+	if d.wal != nil {
+		if err := d.wal.Append(raw); err != nil {
+			return fmt.Errorf("core: wal append: %w", err)
+		}
+	}
+	if d.commitHook != nil {
+		d.commitHook(raw)
 	}
 	return nil
+}
+
+// setCommitHook registers fn to receive every committed mutation's
+// encoded WAL record. fn runs under d.mu immediately after the record
+// is appended (or, on an in-memory distributor, where the append would
+// have been), so it must be cheap, must not block, and must not call
+// back into the distributor. Install before concurrent use.
+func (d *Distributor) setCommitHook(fn func(raw []byte)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.commitHook = fn
 }
 
 // maybeCheckpointLocked checkpoints when the log tail has grown past the
@@ -249,9 +270,13 @@ func (d *Distributor) restoreVIDCtr(ctr uint64) {
 // applyWALRecord replays one commit against the tables. It validates
 // every reference — replay is the one place a corrupt-but-CRC-valid or
 // out-of-order record could silently poison the tables, so a mismatch is
-// an error, not a best-effort patch. Mutates only clients/chunks/stripes
-// and the watermarks: provider counts are recomputed afterwards, and the
-// cache starts empty in a fresh process.
+// an error, not a best-effort patch. Mutates clients/chunks/stripes, the
+// watermarks, and the per-provider counts (incrementally, so a follower
+// applying a replication stream never pays an O(table) recompute);
+// recovery still recomputes the counts wholesale afterwards, which is
+// what makes the bump helpers safe to no-op when no fleet is attached.
+// The cache starts empty in a fresh process and is generation-keyed, so
+// stale entries on a follower miss naturally.
 func (d *Distributor) applyWALRecord(rec *walRecord) error {
 	switch rec.Op {
 	case "register":
@@ -285,6 +310,12 @@ func (d *Distributor) applyWALRecord(rec *walRecord) error {
 		}
 		d.chunks = append(d.chunks, rec.Chunks...)
 		d.stripes = append(d.stripes, rec.Stripes...)
+		for i := range rec.Chunks {
+			d.bumpChunkProvLocked(&rec.Chunks[i], 1)
+		}
+		for i := range rec.Stripes {
+			d.bumpParityProvLocked(rec.Stripes[i].Parity, 1)
+		}
 		c.Files[rec.Filename] = &fileEntry{
 			Filename: rec.Filename,
 			PL:       rec.PL,
@@ -308,9 +339,13 @@ func (d *Distributor) applyWALRecord(rec *walRecord) error {
 		if rec.StripeID < 0 || rec.StripeID >= len(d.stripes) {
 			return fmt.Errorf("stripe %d out of range", rec.StripeID)
 		}
-		d.chunks[idx] = rec.Chunk
 		st := &d.stripes[rec.StripeID]
+		d.bumpChunkProvLocked(&d.chunks[idx], -1)
+		d.bumpParityProvLocked(st.Parity, -1)
+		d.chunks[idx] = rec.Chunk
+		d.bumpChunkProvLocked(&rec.Chunk, 1)
 		st.Parity = rec.Parity
+		d.bumpParityProvLocked(rec.Parity, 1)
 		if rec.ShardLen > 0 {
 			st.ShardLen = rec.ShardLen
 		}
@@ -333,9 +368,11 @@ func (d *Distributor) applyWALRecord(rec *walRecord) error {
 			}
 			remaining++
 			e := &d.chunks[idx]
+			d.bumpChunkProvLocked(e, -1)
 			if !seenStripe[e.StripeID] {
 				seenStripe[e.StripeID] = true
 				st := &d.stripes[e.StripeID]
+				d.bumpParityProvLocked(st.Parity, -1)
 				st.Parity = nil
 				st.Members = nil
 			}
@@ -362,10 +399,13 @@ func (d *Distributor) applyWALRecord(rec *walRecord) error {
 			return fmt.Errorf("stripe %d out of range", rec.StripeID)
 		}
 		st := &d.stripes[rec.StripeID]
+		d.bumpParityProvLocked(st.Parity, -1)
 		st.Members = rec.Members
 		st.ShardLen = rec.ShardLen
 		st.Parity = rec.Parity
+		d.bumpParityProvLocked(rec.Parity, 1)
 		e := &d.chunks[idx]
+		d.bumpChunkProvLocked(e, -1)
 		e.CPIndex = -1
 		e.SPIndex = -1
 		e.SnapVID = ""
@@ -383,6 +423,10 @@ func (d *Distributor) applyWALRecord(rec *walRecord) error {
 			return fmt.Errorf("chunk %d out of range", rec.TableIdx)
 		}
 		e := &d.chunks[rec.TableIdx]
+		if e.CPIndex >= 0 {
+			d.bumpProvLocked(e.CPIndex, -1)
+			d.bumpProvLocked(rec.NewProv, 1)
+		}
 		e.CPIndex = rec.NewProv
 		e.VirtualID = rec.NewVID
 		fe.Gen = rec.FileGen
@@ -399,6 +443,10 @@ func (d *Distributor) applyWALRecord(rec *walRecord) error {
 		if rec.SubIdx < 0 || rec.SubIdx >= len(e.Mirrors) {
 			return fmt.Errorf("mirror %d of chunk %d out of range", rec.SubIdx, rec.TableIdx)
 		}
+		if e.CPIndex >= 0 {
+			d.bumpProvLocked(e.Mirrors[rec.SubIdx].CPIndex, -1)
+			d.bumpProvLocked(rec.NewProv, 1)
+		}
 		e.Mirrors[rec.SubIdx] = mirrorRef{VirtualID: rec.NewVID, CPIndex: rec.NewProv}
 		fe.Gen = rec.FileGen
 
@@ -411,6 +459,14 @@ func (d *Distributor) applyWALRecord(rec *walRecord) error {
 			return fmt.Errorf("chunk %d out of range", rec.TableIdx)
 		}
 		e := &d.chunks[rec.TableIdx]
+		if e.CPIndex >= 0 {
+			if e.SnapVID != "" {
+				d.bumpProvLocked(e.SPIndex, -1)
+			}
+			if rec.NewVID != "" {
+				d.bumpProvLocked(rec.NewProv, 1)
+			}
+		}
 		e.SPIndex = rec.NewProv
 		e.SnapVID = rec.NewVID
 		fe.Gen = rec.FileGen
@@ -424,6 +480,9 @@ func (d *Distributor) applyWALRecord(rec *walRecord) error {
 			return fmt.Errorf("chunk %d out of range", rec.TableIdx)
 		}
 		e := &d.chunks[rec.TableIdx]
+		if e.CPIndex >= 0 && e.SnapVID != "" {
+			d.bumpProvLocked(e.SPIndex, -1)
+		}
 		e.SPIndex = -1
 		e.SnapVID = ""
 		fe.Gen = rec.FileGen
@@ -440,6 +499,8 @@ func (d *Distributor) applyWALRecord(rec *walRecord) error {
 		if rec.SubIdx < 0 || rec.SubIdx >= len(st.Parity) {
 			return fmt.Errorf("parity %d of stripe %d out of range", rec.SubIdx, rec.TableIdx)
 		}
+		d.bumpProvLocked(st.Parity[rec.SubIdx].CPIndex, -1)
+		d.bumpProvLocked(rec.NewProv, 1)
 		st.Parity[rec.SubIdx] = parityShard{VirtualID: rec.NewVID, CPIndex: rec.NewProv}
 		fe.Gen = rec.FileGen
 
@@ -481,6 +542,85 @@ func (d *Distributor) replayChunkIdx(fe *fileEntry, serial int) (int, error) {
 		return 0, fmt.Errorf("serial %d of %q resolves to chunk %d, table holds %d", serial, fe.Filename, idx, len(d.chunks))
 	}
 	return idx, nil
+}
+
+// bumpProvLocked adjusts the committed per-provider count by delta.
+// Recovery replay recomputes the counts wholesale after the tail is
+// applied, and the offline validator (ValidateWALDir) carries no fleet
+// at all, so a nil slice or out-of-range index is silently ignored here;
+// recomputeProvCountLocked remains the authoritative shape check.
+func (d *Distributor) bumpProvLocked(idx, delta int) {
+	if idx >= 0 && idx < len(d.provCount) {
+		d.provCount[idx] += delta
+	}
+}
+
+// bumpChunkProvLocked adjusts provider counts for every placement a
+// live chunk entry holds: primary, mirrors and snapshot. Dead entries
+// (CPIndex < 0) carry no counted placements, matching the rules in
+// recomputeProvCountLocked.
+func (d *Distributor) bumpChunkProvLocked(e *chunkEntry, delta int) {
+	if e.CPIndex < 0 {
+		return
+	}
+	d.bumpProvLocked(e.CPIndex, delta)
+	for _, m := range e.Mirrors {
+		d.bumpProvLocked(m.CPIndex, delta)
+	}
+	if e.SnapVID != "" {
+		d.bumpProvLocked(e.SPIndex, delta)
+	}
+}
+
+// bumpParityProvLocked adjusts provider counts for a parity shard list.
+func (d *Distributor) bumpParityProvLocked(ps []parityShard, delta int) {
+	for _, p := range ps {
+		d.bumpProvLocked(p.CPIndex, delta)
+	}
+}
+
+// Generation returns the distributor's commit generation: it advances on
+// every committed mutation and is what replication lag is measured in.
+func (d *Distributor) Generation() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.gen
+}
+
+// ApplyReplicated applies one encoded commit record shipped from a
+// primary distributor onto this follower: the same log-before-mutate
+// discipline as a local commit (a durable follower appends the raw
+// record to its own WAL first), then the same validated replay path the
+// recovery code uses. The record's generation watermark must not run
+// behind the follower's — that is the conflict check that catches a
+// stream applied out of order or against a diverged replica; structural
+// validation inside the replay catches everything subtler, and either
+// failure tells the caller to fall back to a full snapshot. Returns the
+// follower's generation after the record applies.
+func (d *Distributor) ApplyReplicated(raw []byte) (uint64, error) {
+	var rec walRecord
+	if err := decodeWALRecord(raw, &rec); err != nil {
+		return 0, fmt.Errorf("core: decoding replicated record: %w", err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, errClosed
+	}
+	if rec.Gen < d.gen {
+		return 0, fmt.Errorf("%w: replicated %s record at generation %d behind follower generation %d",
+			ErrConflict, rec.Op, rec.Gen, d.gen)
+	}
+	if d.wal != nil {
+		if err := d.wal.Append(raw); err != nil {
+			return 0, fmt.Errorf("core: follower wal append: %w", err)
+		}
+	}
+	if err := d.applyWALRecord(&rec); err != nil {
+		return 0, fmt.Errorf("core: applying replicated %s record: %w", rec.Op, err)
+	}
+	d.maybeCheckpointLocked()
+	return d.gen, nil
 }
 
 // recomputeProvCountLocked rebuilds the committed per-provider counts

@@ -36,6 +36,16 @@ func ChunkKey(filename string, serial int) uint64 {
 	return HashID(fmt.Sprintf("%s#%d", filename, serial))
 }
 
+// FileKey derives the ring key of a ⟨client, filename⟩ pair — the unit
+// the sharded data plane routes on. Every operation on one file of one
+// client lands on a single owning distributor, so per-file generation
+// counters and placement state never straddle shards. The NUL separator
+// keeps distinct pairs from colliding by concatenation ("ab"+"c" vs
+// "a"+"bc").
+func FileKey(client, filename string) uint64 {
+	return HashID(client + "\x00" + filename)
+}
+
 // node is one ring participant.
 type node struct {
 	id   uint64

@@ -22,15 +22,16 @@ type Report struct {
 // Config echoes the knobs that shaped the run, so a trajectory point is
 // reproducible from its own record.
 type Config struct {
-	Workers   int    `json:"workers"`
-	Tenants   int    `json:"tenants"`
-	Keys      int    `json:"keys_per_tenant"`
-	Providers int    `json:"providers,omitempty"` // in-process fleet only
-	Mix       string `json:"mix"`
-	Sizes     string `json:"sizes"`
-	Duration  string `json:"duration"`
-	Warmup    string `json:"warmup"`
-	Seed      int64  `json:"seed"`
+	Workers      int    `json:"workers"`
+	Tenants      int    `json:"tenants"`
+	Keys         int    `json:"keys_per_tenant"`
+	Providers    int    `json:"providers,omitempty"`    // in-process fleet only, per distributor
+	Distributors int    `json:"distributors,omitempty"` // shard count (1 = single distributor)
+	Mix          string `json:"mix"`
+	Sizes        string `json:"sizes"`
+	Duration     string `json:"duration"`
+	Warmup       string `json:"warmup"`
+	Seed         int64  `json:"seed"`
 }
 
 // Op is one operation class's measured-window summary. Latencies are

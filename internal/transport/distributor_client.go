@@ -28,10 +28,12 @@ type Client struct {
 	retry *retrier
 }
 
-// NewClient creates a distributor client.
+// NewClient creates a distributor client. A nil hc gets a default
+// client backed by the shared pooled transport (see pool.go), so warm
+// connections survive bursts instead of re-dialing.
 func NewClient(baseURL string, hc *http.Client) *Client {
 	if hc == nil {
-		hc = &http.Client{Timeout: 30 * time.Second}
+		hc = defaultHTTPClient(30 * time.Second)
 	}
 	return &Client{
 		base:  strings.TrimRight(baseURL, "/"),
@@ -361,7 +363,7 @@ func (c *Client) Health() error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("transport: /v1/health: status %d", resp.StatusCode)
 	}
-	var out healthDTO
+	var out HealthReport
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return err
 	}
@@ -373,7 +375,7 @@ func (c *Client) Health() error {
 
 // ProviderHealth fetches the per-provider circuit-breaker view.
 func (c *Client) ProviderHealth() ([]core.ProviderHealth, error) {
-	var out healthDTO
+	var out HealthReport
 	if err := c.getJSON("/v1/health", &out); err != nil {
 		return nil, err
 	}
@@ -383,9 +385,19 @@ func (c *Client) ProviderHealth() ([]core.ProviderHealth, error) {
 // CacheHealth fetches the distributor's chunk-cache counters; a zero
 // Capacity means caching is disabled.
 func (c *Client) CacheHealth() (core.CacheStats, error) {
-	var out healthDTO
+	var out HealthReport
 	if err := c.getJSON("/v1/health", &out); err != nil {
 		return core.CacheStats{}, err
 	}
 	return out.Cache, nil
+}
+
+// HealthReport fetches the full /v1/health body, including the
+// replication-lag section when the server fronts a cluster.
+func (c *Client) HealthReport() (HealthReport, error) {
+	var out HealthReport
+	if err := c.getJSON("/v1/health", &out); err != nil {
+		return HealthReport{}, err
+	}
+	return out, nil
 }

@@ -16,6 +16,9 @@ import (
 type DistributorServer struct {
 	d   *core.Distributor
 	mux *http.ServeMux
+	// lagSource, when set, contributes the replication section of
+	// /v1/health (see SetLagSource).
+	lagSource func() []core.ReplicaLag
 }
 
 // NewDistributorServer wraps a distributor.
@@ -323,16 +326,27 @@ func (s *DistributorServer) metrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.d.Metrics())
 }
 
-// healthDTO is the GET /v1/health body: overall status, the
+// HealthReport is the GET /v1/health body: overall status, the
 // per-provider circuit-breaker view, the chunk-cache counters
 // (hits/misses/evictions/bytes; capacity 0 means caching is disabled),
-// and the durability view (records appended, fsyncs, replay count and
-// last-checkpoint age; enabled=false means in-memory metadata).
-type healthDTO struct {
-	Status    string                `json:"status"`
-	Providers []core.ProviderHealth `json:"providers"`
-	Cache     core.CacheStats       `json:"cache"`
-	WAL       core.WALHealth        `json:"wal"`
+// the durability view (records appended, fsyncs, replay count and
+// last-checkpoint age; enabled=false means in-memory metadata), and —
+// when this distributor fronts a replicated cluster — each member's
+// replication position, so a lagging or down secondary is visible
+// instead of silently serving stale generations.
+type HealthReport struct {
+	Status      string                `json:"status"`
+	Providers   []core.ProviderHealth `json:"providers"`
+	Cache       core.CacheStats       `json:"cache"`
+	WAL         core.WALHealth        `json:"wal"`
+	Replication []core.ReplicaLag     `json:"replication,omitempty"`
+}
+
+// SetLagSource wires a replication-lag reporter (typically
+// core.Cluster.Lag) into /v1/health. Call before serving; a nil fn
+// removes the section.
+func (s *DistributorServer) SetLagSource(fn func() []core.ReplicaLag) {
+	s.lagSource = fn
 }
 
 func (s *DistributorServer) health(w http.ResponseWriter, _ *http.Request) {
@@ -344,5 +358,14 @@ func (s *DistributorServer) health(w http.ResponseWriter, _ *http.Request) {
 			break
 		}
 	}
-	writeJSON(w, healthDTO{Status: status, Providers: provs, Cache: s.d.CacheHealth(), WAL: s.d.WALHealth()})
+	rep := HealthReport{Status: status, Providers: provs, Cache: s.d.CacheHealth(), WAL: s.d.WALHealth()}
+	if s.lagSource != nil {
+		rep.Replication = s.lagSource()
+		for _, m := range rep.Replication {
+			if m.Down || m.LagRecords > 0 {
+				rep.Status = "degraded"
+			}
+		}
+	}
+	writeJSON(w, rep)
 }

@@ -1,0 +1,53 @@
+package transport
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// Connection pooling. http.DefaultTransport keeps only 2 idle
+// connections per host (DefaultMaxIdleConnsPerHost), so a hedged read
+// or a sharded fan-out that puts more than two concurrent requests on
+// one distributor tears down and re-dials connections on every burst —
+// extra RTTs and TIME_WAIT churn exactly on the latency-sensitive path.
+// Every client this package creates with a nil *http.Client therefore
+// shares one pooled transport sized for fan-out.
+
+// poolMaxIdlePerHost bounds retained idle connections per distributor
+// or provider endpoint. It needs to cover the largest realistic burst
+// against a single host: hedged reads cap at the provider fleet size,
+// and cloudbench drives up to a few hundred workers at one loopback
+// distributor.
+const poolMaxIdlePerHost = 256
+
+// NewPooledTransport returns a transport tuned for this package's
+// fan-out pattern: many short JSON/octet requests against a small, hot
+// set of hosts. Callers that need custom TLS or proxies can start from
+// this and override fields before wrapping it in an http.Client.
+func NewPooledTransport() *http.Transport {
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   30 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		ForceAttemptHTTP2:     true,
+		MaxIdleConns:          1024,
+		MaxIdleConnsPerHost:   poolMaxIdlePerHost,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ExpectContinueTimeout: 1 * time.Second,
+	}
+}
+
+// sharedTransport is the process-wide pool behind every default client.
+// Sharing one transport (rather than one per NewClient call) is what
+// lets a Client and the provider dials reuse each other's warm
+// connections to the same host.
+var sharedTransport = NewPooledTransport()
+
+// defaultHTTPClient wraps the shared pool with a per-use-case timeout.
+func defaultHTTPClient(timeout time.Duration) *http.Client {
+	return &http.Client{Timeout: timeout, Transport: sharedTransport}
+}

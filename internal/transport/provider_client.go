@@ -38,9 +38,12 @@ type RemoteProvider struct {
 var _ provider.Provider = (*RemoteProvider)(nil)
 
 // DialProvider connects to a provider server and caches its identity.
+// A nil client gets a default backed by the shared pooled transport, so
+// hedged and parallel shard fetches reuse warm connections instead of
+// re-dialing (the stock transport retains only 2 idle conns per host).
 func DialProvider(baseURL string, client *http.Client) (*RemoteProvider, error) {
 	if client == nil {
-		client = &http.Client{Timeout: 10 * time.Second}
+		client = defaultHTTPClient(10 * time.Second)
 	}
 	rp := &RemoteProvider{base: baseURL, client: client, retry: newRetrier()}
 	resp, err := client.Get(baseURL + "/v1/info")

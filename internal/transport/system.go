@@ -1,0 +1,296 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/privacy"
+)
+
+// API is the operation surface shared by a single-endpoint Client and
+// the sharded System, so load generators, tools and proxies can drive
+// either without caring how many distributors sit behind it.
+type API interface {
+	RegisterClient(name string) error
+	AddPassword(client, password string, pl privacy.Level) error
+	Upload(client, password, filename string, data []byte, pl privacy.Level, opts UploadOptions) (core.FileInfo, error)
+	UploadFrom(client, password, filename string, r io.Reader, pl privacy.Level, opts UploadOptions) (core.FileInfo, error)
+	GetChunk(client, password, filename string, serial int) ([]byte, error)
+	GetFile(client, password, filename string) ([]byte, error)
+	GetFileTo(w io.Writer, client, password, filename string) (int64, error)
+	GetSnapshot(client, password, filename string, serial int) ([]byte, error)
+	GetRange(client, password, filename string, offset, length int) ([]byte, error)
+	UpdateChunk(client, password, filename string, serial int, data []byte) error
+	RemoveChunk(client, password, filename string, serial int) error
+	RemoveFile(client, password, filename string) error
+	ChunkCount(client, password, filename string) (int, error)
+	Scrub() (core.ScrubReport, error)
+	Stats() (core.Stats, error)
+	Health() error
+}
+
+var (
+	_ API = (*Client)(nil)
+	_ API = (*System)(nil)
+)
+
+// System is the sharded, client-side face of a multi-distributor
+// deployment: a consistent-hash ring (internal/dht, virtual-node
+// balanced) over one Client per shard. Every ⟨client, filename⟩ pair
+// hashes to exactly one owning distributor (dht.FileKey), so a file's
+// chunks, generation counters and WAL records live on a single shard;
+// account operations (register, password) broadcast, because a client's
+// files scatter across all shards. Adding a shard moves ≈1/n of the
+// namespace — the rebalancing contract pinned by the dht tests — and
+// the vnode spread keeps every shard's slice near 1/n, so aggregate
+// throughput scales with shard count instead of with the luck of one
+// URL's hash.
+type System struct {
+	ring   *dht.BalancedRing
+	shards []*Client
+	urls   []string
+	index  map[string]int // ring member name (the URL) -> shard index
+}
+
+// NewSystem builds a sharded client over the given distributor base
+// URLs. Shard identity is the URL itself: the ring position of each
+// shard, and therefore the namespace partition, is stable for a fixed
+// URL set regardless of order. A nil hc uses the shared pooled
+// transport.
+func NewSystem(urls []string, hc *http.Client) (*System, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("transport: system needs at least one shard URL")
+	}
+	s := &System{
+		shards: make([]*Client, len(urls)),
+		urls:   append([]string(nil), urls...),
+		index:  make(map[string]int, len(urls)),
+	}
+	for i, u := range urls {
+		if _, dup := s.index[u]; dup {
+			return nil, fmt.Errorf("transport: duplicate shard URL %q", u)
+		}
+		s.index[u] = i
+		s.shards[i] = NewClient(u, hc)
+	}
+	ring, err := dht.NewBalancedRing(dht.DefaultVNodes, urls...)
+	if err != nil {
+		return nil, err
+	}
+	s.ring = ring
+	return s, nil
+}
+
+// Shards returns the number of distributors behind the system.
+func (s *System) Shards() int { return len(s.shards) }
+
+// Shard returns the i'th shard's client (config order), for tools that
+// need to address one distributor directly.
+func (s *System) Shard(i int) *Client { return s.shards[i] }
+
+// URLs returns the shard base URLs in config order.
+func (s *System) URLs() []string { return append([]string(nil), s.urls...) }
+
+// Location identifies the shard that owns one ⟨client, filename⟩ pair.
+type Location struct {
+	Key      uint64 `json:"key"`   // ring position of the file
+	Shard    int    `json:"shard"` // index into the config-order shard list
+	ShardURL string `json:"shard_url"`
+}
+
+// Locate resolves the owning shard of a file without touching the
+// network — the routing decision every data op makes, exposed for
+// debugging (cloudctl locate).
+func (s *System) Locate(client, filename string) (Location, error) {
+	key := dht.FileKey(client, filename)
+	name, err := s.ring.Successor(key)
+	if err != nil {
+		return Location{}, err
+	}
+	i := s.index[name]
+	return Location{Key: key, Shard: i, ShardURL: s.urls[i]}, nil
+}
+
+// owner returns the client of the shard owning ⟨client, filename⟩.
+func (s *System) owner(client, filename string) (*Client, error) {
+	loc, err := s.Locate(client, filename)
+	if err != nil {
+		return nil, err
+	}
+	return s.shards[loc.Shard], nil
+}
+
+// eachShard runs fn against every shard and joins the failures.
+func (s *System) eachShard(fn func(i int, c *Client) error) error {
+	var errs []error
+	for i, c := range s.shards {
+		if err := fn(i, c); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d (%s): %w", i, s.urls[i], err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// RegisterClient creates the account on every shard: files of one
+// client hash across the whole ring, so each shard must know it.
+func (s *System) RegisterClient(name string) error {
+	return s.eachShard(func(_ int, c *Client) error { return c.RegisterClient(name) })
+}
+
+// AddPassword registers the ⟨password, PL⟩ pair on every shard.
+func (s *System) AddPassword(client, password string, pl privacy.Level) error {
+	return s.eachShard(func(_ int, c *Client) error { return c.AddPassword(client, password, pl) })
+}
+
+// Upload ships a file to its owning shard.
+func (s *System) Upload(client, password, filename string, data []byte, pl privacy.Level, opts UploadOptions) (core.FileInfo, error) {
+	c, err := s.owner(client, filename)
+	if err != nil {
+		return core.FileInfo{}, err
+	}
+	return c.Upload(client, password, filename, data, pl, opts)
+}
+
+// UploadFrom streams a file to its owning shard.
+func (s *System) UploadFrom(client, password, filename string, r io.Reader, pl privacy.Level, opts UploadOptions) (core.FileInfo, error) {
+	c, err := s.owner(client, filename)
+	if err != nil {
+		return core.FileInfo{}, err
+	}
+	return c.UploadFrom(client, password, filename, r, pl, opts)
+}
+
+// GetChunk retrieves one chunk from the owning shard.
+func (s *System) GetChunk(client, password, filename string, serial int) ([]byte, error) {
+	c, err := s.owner(client, filename)
+	if err != nil {
+		return nil, err
+	}
+	return c.GetChunk(client, password, filename, serial)
+}
+
+// GetFile retrieves a whole file from the owning shard.
+func (s *System) GetFile(client, password, filename string) ([]byte, error) {
+	c, err := s.owner(client, filename)
+	if err != nil {
+		return nil, err
+	}
+	return c.GetFile(client, password, filename)
+}
+
+// GetFileTo streams a whole file from the owning shard.
+func (s *System) GetFileTo(w io.Writer, client, password, filename string) (int64, error) {
+	c, err := s.owner(client, filename)
+	if err != nil {
+		return 0, err
+	}
+	return c.GetFileTo(w, client, password, filename)
+}
+
+// GetSnapshot retrieves a chunk's snapshot from the owning shard.
+func (s *System) GetSnapshot(client, password, filename string, serial int) ([]byte, error) {
+	c, err := s.owner(client, filename)
+	if err != nil {
+		return nil, err
+	}
+	return c.GetSnapshot(client, password, filename, serial)
+}
+
+// GetRange retrieves a byte range from the owning shard.
+func (s *System) GetRange(client, password, filename string, offset, length int) ([]byte, error) {
+	c, err := s.owner(client, filename)
+	if err != nil {
+		return nil, err
+	}
+	return c.GetRange(client, password, filename, offset, length)
+}
+
+// UpdateChunk rewrites one chunk on the owning shard.
+func (s *System) UpdateChunk(client, password, filename string, serial int, data []byte) error {
+	c, err := s.owner(client, filename)
+	if err != nil {
+		return err
+	}
+	return c.UpdateChunk(client, password, filename, serial, data)
+}
+
+// RemoveChunk deletes one chunk on the owning shard.
+func (s *System) RemoveChunk(client, password, filename string, serial int) error {
+	c, err := s.owner(client, filename)
+	if err != nil {
+		return err
+	}
+	return c.RemoveChunk(client, password, filename, serial)
+}
+
+// RemoveFile deletes a file on its owning shard.
+func (s *System) RemoveFile(client, password, filename string) error {
+	c, err := s.owner(client, filename)
+	if err != nil {
+		return err
+	}
+	return c.RemoveFile(client, password, filename)
+}
+
+// ChunkCount asks the owning shard how many chunks a file has.
+func (s *System) ChunkCount(client, password, filename string) (int, error) {
+	c, err := s.owner(client, filename)
+	if err != nil {
+		return 0, err
+	}
+	return c.ChunkCount(client, password, filename)
+}
+
+// Scrub runs a parity scrub on every shard and sums the reports.
+func (s *System) Scrub() (core.ScrubReport, error) {
+	var total core.ScrubReport
+	err := s.eachShard(func(_ int, c *Client) error {
+		rep, err := c.Scrub()
+		if err != nil {
+			return err
+		}
+		total.ChunksChecked += rep.ChunksChecked
+		total.Healthy += rep.Healthy
+		total.Repaired += rep.Repaired
+		total.Unrepairable += rep.Unrepairable
+		total.Skipped += rep.Skipped
+		total.ParityChecked += rep.ParityChecked
+		total.ParityRepaired += rep.ParityRepaired
+		total.ParityUnrepairable += rep.ParityUnrepairable
+		total.ParitySkipped += rep.ParitySkipped
+		return nil
+	})
+	return total, err
+}
+
+// Stats sums placement statistics across shards. PerProvider counts
+// concatenate in shard order: each shard owns its own provider fleet,
+// so the indices are per-shard, not a shared space.
+func (s *System) Stats() (core.Stats, error) {
+	var total core.Stats
+	err := s.eachShard(func(_ int, c *Client) error {
+		st, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		total.Clients = max(total.Clients, st.Clients)
+		total.Files += st.Files
+		total.Chunks += st.Chunks
+		total.ParityShards += st.ParityShards
+		total.MirrorShards += st.MirrorShards
+		total.Snapshots += st.Snapshots
+		total.Stripes += st.Stripes
+		total.PerProvider = append(total.PerProvider, st.PerProvider...)
+		return nil
+	})
+	return total, err
+}
+
+// Health succeeds only when every shard is reachable and healthy.
+func (s *System) Health() error {
+	return s.eachShard(func(_ int, c *Client) error { return c.Health() })
+}
