@@ -11,11 +11,15 @@
 #   SIMCHECK_SEEDS=64 SIMCHECK_OPS=600 make simcheck  bigger sweep
 #   make walcheck         crash-restart recovery sweep (WAL durability)
 #   make shardcheck       sharded-namespace fault sweep (partitions, failover)
+#   make minecheck        adversary-in-the-loop mining campaigns + gate
+#   MINECHECK_SEEDS=64 make minecheck  bigger sweep
+#   make minebench        full 128-cell privacy-vs-performance frontier
 
 GO        ?= go
 FUZZTIME  ?= 5s
 SIMCHECK_SEEDS ?= 32
 SIMCHECK_OPS   ?= 0
+MINECHECK_SEEDS ?= 32
 # The bench trajectory point: BENCH_<n>.json where n is one past the
 # highest index already recorded, so a fresh `make bench`/`make loadbench`
 # never silently overwrites the previous PR's numbers. Override with
@@ -57,7 +61,7 @@ SCALEWARM    ?= 3s
 SCALEMIX     ?= put=35,get=65
 SCALESIZES   ?= 2KiB=100
 
-.PHONY: check build vet test race fuzz fmt bench bench-smoke loadbench bench-loadsmoke memcheck simcheck simcheck-short walcheck walcheck-race shardcheck shardcheck-race
+.PHONY: check build vet test race fuzz fmt bench bench-smoke loadbench bench-loadsmoke memcheck simcheck simcheck-short walcheck walcheck-race shardcheck shardcheck-race minecheck minecheck-race minebench
 
 check: vet build race fuzz
 
@@ -167,6 +171,29 @@ shardcheck:
 # The CI variant: fewer seeds under the race detector.
 shardcheck-race:
 	$(GO) test -race ./internal/simcheck -count=1 -short -run 'TestSimCheckSharded'
+
+# Adversary-in-the-loop gate (internal/minecheck): stands up the real
+# loopback deployment per seed, drives tenant traffic, and mounts the
+# mining attacks (regression, clustering, association rules, NB/kNN)
+# from malicious-provider vantage points — blobs, request timing, shard
+# placement. Defended cells (PL>=2 + mislead) must score below the
+# stored thresholds; the undefended control must leak, proving the
+# attacks have teeth. Failures print a one-line repro:
+#   go test ./internal/minecheck -run 'TestMineCheck$' -seed=N
+minecheck:
+	$(GO) test ./internal/minecheck -count=1 -seeds=$(MINECHECK_SEEDS)
+
+# The CI variant: fewer seeds under the race detector (also covers
+# internal/attack and internal/mining through the campaign paths).
+minecheck-race:
+	$(GO) test -race ./internal/minecheck ./internal/attack ./internal/mining -count=1 -short
+
+# Full privacy-vs-performance frontier: 128 configuration cells swept by
+# cmd/minecheck, embedded into $(BENCHOUT) as the "frontier" record.
+minebench:
+	$(GO) run ./cmd/minecheck -seed 1 -out minecheck.frontier.json -table
+	$(GO) run ./cmd/benchjson -frontier minecheck.frontier.json -out $(BENCHOUT) < /dev/null
+	@rm -f minecheck.frontier.json
 
 fmt:
 	gofmt -l -w .

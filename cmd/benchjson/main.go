@@ -17,7 +17,9 @@
 // as the microbenchmarks. Repeatable -scaling flags condense further
 // cloudbench reports — one per distributor count — into the "scaling"
 // curve plus "scaling_speedups" (put+get throughput vs the
-// 1-distributor point).
+// 1-distributor point). -frontier embeds a cmd/minecheck sweep (the
+// adversary-in-the-loop privacy-vs-performance frontier) as the
+// "frontier" record.
 //
 // Usage: go test -bench . -benchmem ./... | benchjson -out BENCH.json
 //
@@ -37,6 +39,7 @@ import (
 	"strings"
 
 	"repro/internal/loadreport"
+	"repro/internal/minecheck"
 )
 
 // result is one benchmark's aggregated numbers.
@@ -106,6 +109,7 @@ type report struct {
 	Load             *loadreport.Report  `json:"load,omitempty"`
 	Scaling          []scalingPoint      `json:"scaling,omitempty"`
 	ScalingSpeedups  map[string]float64  `json:"scaling_speedups,omitempty"`
+	Frontier         *minecheck.Frontier `json:"frontier,omitempty"`
 }
 
 // scalingPoint condenses one cloudbench run of the multi-distributor
@@ -151,6 +155,22 @@ func readLoad(path string) (*loadreport.Report, error) {
 	return &lr, nil
 }
 
+// readFrontier parses a cmd/minecheck sweep for embedding.
+func readFrontier(path string) (*minecheck.Frontier, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f minecheck.Frontier
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != minecheck.FrontierSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, minecheck.FrontierSchema)
+	}
+	return &f, nil
+}
+
 // benchLine matches one `go test -bench` result line, with the optional
 // -benchmem and MB/s columns.
 var benchLine = regexp.MustCompile(
@@ -159,6 +179,7 @@ var benchLine = regexp.MustCompile(
 func main() {
 	out := flag.String("out", "", "write the JSON report to this file ('' or '-' = stdout)")
 	loadPath := flag.String("load", "", "embed this cloudbench JSON report as the load record")
+	frontierPath := flag.String("frontier", "", "embed this cmd/minecheck JSON sweep as the frontier record")
 	var scalingPaths []string
 	flag.Func("scaling", "cloudbench JSON report for one point of the distributor-scaling sweep (repeatable)", func(p string) error {
 		scalingPaths = append(scalingPaths, p)
@@ -171,6 +192,14 @@ func main() {
 		var err error
 		if load, err = readLoad(*loadPath); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson: load report:", err)
+			os.Exit(1)
+		}
+	}
+	var frontier *minecheck.Frontier
+	if *frontierPath != "" {
+		var err error
+		if frontier, err = readFrontier(*frontierPath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: frontier report:", err)
 			os.Exit(1)
 		}
 	}
@@ -215,14 +244,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
 		os.Exit(1)
 	}
-	if len(results) == 0 && load == nil && len(scaling) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin and no -load/-scaling reports")
+	if len(results) == 0 && load == nil && len(scaling) == 0 && frontier == nil {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin and no -load/-scaling/-frontier reports")
 		os.Exit(1)
 	}
 
 	rep := report{
 		Load:             load,
 		Scaling:          scaling,
+		Frontier:         frontier,
 		Results:          results,
 		KernelSpeedups:   make(map[string]float64),
 		TailSpeedups:     make(map[string]float64),
@@ -327,6 +357,10 @@ func main() {
 		fmt.Printf("  scale   %2d distributors  put+get %9.1f ops/s  total %9.1f ops/s  %7.2f MB/s  %d err  (%.2fx)\n",
 			p.Distributors, p.PutGetOpsPerS, p.TotalOpsPerS, p.TotalMBPerS, p.Errors,
 			rep.ScalingSpeedups[fmt.Sprintf("%dx", p.Distributors)])
+	}
+	if rep.Frontier != nil {
+		fmt.Printf("  frontier %d cells at seed %d (see \"frontier\" record)\n",
+			len(rep.Frontier.Cells), rep.Frontier.Seed)
 	}
 }
 

@@ -1,15 +1,10 @@
 package main
 
 import (
-	"fmt"
-	"net"
-	"net/http"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/privacy"
-	"repro/internal/provider"
-	"repro/internal/transport"
+	"repro/internal/localfleet"
 )
 
 // startLocalFleet stands up n provider HTTP servers and one distributor
@@ -28,96 +23,21 @@ func startLocalFleet(n int, provLatency time.Duration, cacheBytes int64, hedgeAf
 
 // startLocalShards stands up d independent distributors, each over its
 // own fleet of n loopback provider servers — the local form of the
-// sharded deployment the scaling curve measures. Each shard owns its
-// providers outright (no shared fleet), so throughput scales with
-// shard count exactly as it would across machines.
+// sharded deployment the scaling curve measures (internal/localfleet,
+// the fixture shared with the minecheck adversary harness).
 func startLocalShards(d, n int, provLatency time.Duration, cacheBytes int64, hedgeAfter time.Duration, streamWindow int) ([]string, func(), error) {
-	var servers []*http.Server
-	shutdown := func() {
-		for _, s := range servers {
-			_ = s.Close()
-		}
-	}
-	// One pooled transport for all distributor→provider connections; the
-	// default transport's 2 idle conns per host would throttle fan-out.
-	providerHTTP := &http.Client{
-		Timeout:   30 * time.Second,
-		Transport: transport.NewPooledTransport(),
-	}
-
-	urls := make([]string, d)
-	for s := 0; s < d; s++ {
-		fleet, err := provider.NewFleet()
-		if err != nil {
-			shutdown()
-			return nil, nil, err
-		}
-		for i := 0; i < n; i++ {
-			opts := provider.Options{}
-			if provLatency > 0 {
-				opts.Latency = provider.LatencyModel{PerOp: provLatency}
-				opts.Sleep = time.Sleep
-			}
-			// Uniform cost level: placement prefers strictly cheaper
-			// providers and only load-balances within a cost tier, so a
-			// mixed-cost bench fleet would concentrate all load on its
-			// cheapest member and idle the rest. Equal CL turns the
-			// tie-break into least-load placement across the whole fleet —
-			// the symmetric queueing bank the throughput curve assumes.
-			mem, err := provider.New(provider.Info{
-				Name: fmt.Sprintf("s%02dp%02d", s, i),
-				PL:   privacy.High,
-				CL:   1,
-			}, opts)
-			if err != nil {
-				shutdown()
-				return nil, nil, err
-			}
-			url, srv, err := serveLoopback(transport.NewProviderServer(mem))
-			if err != nil {
-				shutdown()
-				return nil, nil, err
-			}
-			servers = append(servers, srv)
-			remote, err := transport.DialProvider(url, providerHTTP)
-			if err != nil {
-				shutdown()
-				return nil, nil, err
-			}
-			if err := fleet.Add(remote); err != nil {
-				shutdown()
-				return nil, nil, err
-			}
-		}
-
-		dist, err := core.New(core.Config{
-			Fleet:        fleet,
-			CacheBytes:   cacheBytes,
-			HedgeAfter:   hedgeAfter,
-			StreamWindow: streamWindow,
-		})
-		if err != nil {
-			shutdown()
-			return nil, nil, err
-		}
-		url, srv, err := serveLoopback(transport.NewDistributorServer(dist))
-		if err != nil {
-			shutdown()
-			return nil, nil, err
-		}
-		servers = append(servers, srv)
-		urls[s] = url
-	}
-	return urls, shutdown, nil
-}
-
-// serveLoopback binds a handler to an ephemeral loopback port.
-func serveLoopback(h http.Handler) (string, *http.Server, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	cluster, err := localfleet.Start(localfleet.Config{
+		Shards:      d,
+		Providers:   n,
+		ProvLatency: provLatency,
+		Distributor: func(_ int, cfg *core.Config) {
+			cfg.CacheBytes = cacheBytes
+			cfg.HedgeAfter = hedgeAfter
+			cfg.StreamWindow = streamWindow
+		},
+	})
 	if err != nil {
-		return "", nil, err
+		return nil, nil, err
 	}
-	srv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
-	go func() { _ = srv.Serve(ln) }()
-	return "http://" + ln.Addr().String(), srv, nil
+	return cluster.DistURLs, cluster.Close, nil
 }

@@ -55,6 +55,39 @@ func HealthPredictionAttack(blobs []Blob, holdout []dataset.HealthRecord) Predic
 	return res
 }
 
+// HealthKNNAttack is HealthPredictionAttack with a k-nearest-neighbour
+// classifier instead of naive Bayes — the non-parametric variant, which
+// degrades differently under decoy poisoning (every decoy row is a
+// potential false neighbour rather than a shift in class statistics).
+func HealthKNNAttack(blobs []Blob, holdout []dataset.HealthRecord, k int) PredictionResult {
+	var res PredictionResult
+	var recs []dataset.HealthRecord
+	for _, b := range blobs {
+		rs, skipped := dataset.ParseHealthCSV(b.Data)
+		recs = append(recs, rs...)
+		res.RowsSkipped += skipped
+	}
+	res.RowsRecovered = len(recs)
+	if len(recs) == 0 {
+		res.FitErr = fmt.Errorf("attack: no patient rows recovered: %w", mining.ErrTooFewSamples)
+		return res
+	}
+	x, y := dataset.HealthFeatures(recs)
+	knn, err := mining.NewKNN(k, x, y)
+	if err != nil {
+		res.FitErr = err
+		return res
+	}
+	tx, ty := dataset.HealthFeatures(holdout)
+	acc, err := knn.Accuracy(tx, ty)
+	if err != nil {
+		res.FitErr = err
+		return res
+	}
+	res.Accuracy = acc
+	return res
+}
+
 // HealthRuleLeak trains a decision tree on whatever patient rows the
 // attacker recovered and returns the leaked decision rules in plain
 // language — the most damaging form of the prediction attack, since the

@@ -1,0 +1,244 @@
+package attack
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TimedAccess is one data-plane request as a malicious provider's access
+// log records it: when it arrived (a coarse burst stamp — wall-clock
+// seconds in a real deployment, the harness's logical op counter in
+// deterministic campaigns), which provider saw it, the operation, and
+// the opaque key. The key deliberately carries no client identity; the
+// whole point of the timing channel is what arrival *patterns* reveal
+// anyway.
+type TimedAccess struct {
+	T        int64
+	Provider string
+	Op       string // "put" | "get" | "delete"
+	Key      string
+}
+
+// CoOwnershipGroups is the timing side-channel attack: colluding
+// providers pool their access logs and cluster keys that arrive in the
+// same burst. Requests belonging to one logical client operation land
+// within one inter-arrival gap of each other, so keys that repeatedly
+// co-occur are almost certainly shards of the same object — the
+// fragmentation defence hides contents and identity, but not
+// co-arrival. Keys sharing any burst are merged transitively
+// (union-find); the returned groups and their members are sorted for
+// deterministic scoring.
+func CoOwnershipGroups(trace []TimedAccess) [][]string {
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(k string) string {
+		p, ok := parent[k]
+		if !ok {
+			parent[k] = k
+			return k
+		}
+		if p == k {
+			return k
+		}
+		root := find(p)
+		parent[k] = root
+		return root
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			// Deterministic root choice: smallest key wins.
+			if ra < rb {
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+		}
+	}
+
+	byBurst := map[int64][]string{}
+	for _, a := range trace {
+		byBurst[a.T] = append(byBurst[a.T], a.Key)
+	}
+	bursts := make([]int64, 0, len(byBurst))
+	for t := range byBurst {
+		bursts = append(bursts, t)
+	}
+	sort.Slice(bursts, func(i, j int) bool { return bursts[i] < bursts[j] })
+	for _, t := range bursts {
+		keys := byBurst[t]
+		for i := 1; i < len(keys); i++ {
+			union(keys[0], keys[i])
+		}
+	}
+
+	groups := map[string][]string{}
+	members := make([]string, 0, len(parent))
+	for k := range parent {
+		members = append(members, k)
+	}
+	sort.Strings(members)
+	for _, k := range members {
+		r := find(k)
+		groups[r] = append(groups[r], k)
+	}
+	roots := make([]string, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Strings(roots)
+	out := make([][]string, 0, len(groups))
+	for _, r := range roots {
+		g := groups[r]
+		sort.Strings(g)
+		// Deduplicate: a key accessed in many bursts appears once.
+		g = dedupSorted(g)
+		out = append(out, g)
+	}
+	return out
+}
+
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// PairScore scores inferred co-ownership against ground truth: truth
+// maps each key to its owning object's label, and two keys form a true
+// pair when their labels match. Precision is the fraction of inferred
+// same-group pairs that are truly co-owned, recall the fraction of
+// truly co-owned pairs the attack found, F1 their harmonic mean. Keys
+// absent from truth (decoy keys, foreign namespaces) are ignored on the
+// inferred side.
+func PairScore(groups [][]string, truth map[string]string) (precision, recall, f1 float64) {
+	var tp, fp int
+	for _, g := range groups {
+		for i := 0; i < len(g); i++ {
+			li, ok := truth[g[i]]
+			if !ok {
+				continue
+			}
+			for j := i + 1; j < len(g); j++ {
+				lj, ok := truth[g[j]]
+				if !ok {
+					continue
+				}
+				if li == lj {
+					tp++
+				} else {
+					fp++
+				}
+			}
+		}
+	}
+	// Total true pairs, for recall.
+	counts := map[string]int{}
+	for _, l := range truth {
+		counts[l]++
+	}
+	truePairs := 0
+	for _, n := range counts {
+		truePairs += n * (n - 1) / 2
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if truePairs > 0 {
+		recall = float64(tp) / float64(truePairs)
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}
+
+// CrossLabelFraction is the fraction of inferred same-group key pairs
+// whose labels differ — with tenant labels it measures tenant
+// confusion, the leak a shared cache or mixed-up placement would open:
+// any correctly isolated system scores exactly 0, because no single
+// client operation ever touches two tenants' chunks. Keys absent from
+// the label map are ignored.
+func CrossLabelFraction(groups [][]string, label map[string]string) float64 {
+	var cross, total int
+	for _, g := range groups {
+		for i := 0; i < len(g); i++ {
+			li, ok := label[g[i]]
+			if !ok {
+				continue
+			}
+			for j := i + 1; j < len(g); j++ {
+				lj, ok := label[g[j]]
+				if !ok {
+					continue
+				}
+				total++
+				if li != lj {
+					cross++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(cross) / float64(total)
+}
+
+// AccessPattern reduces a trace to its identity-blind shape: for each
+// burst in time order, the sorted multiset of per-provider operation
+// counts, with provider names and keys erased. Two request sequences
+// that differ only in *who* they were for — not in how many requests
+// hit how many providers — produce identical patterns. The cache/hedge
+// timing-invariance check is an equality test on this: a warm read must
+// look the same for every tenant, and so must a cold one, or the
+// provider can tell tenants apart by shape alone.
+func AccessPattern(trace []TimedAccess) string {
+	type burst struct {
+		t     int64
+		byPos map[string]map[string]int // provider -> op -> count
+	}
+	byT := map[int64]*burst{}
+	for _, a := range trace {
+		b, ok := byT[a.T]
+		if !ok {
+			b = &burst{t: a.T, byPos: map[string]map[string]int{}}
+			byT[a.T] = b
+		}
+		if b.byPos[a.Provider] == nil {
+			b.byPos[a.Provider] = map[string]int{}
+		}
+		b.byPos[a.Provider][a.Op]++
+	}
+	bursts := make([]*burst, 0, len(byT))
+	for _, b := range byT {
+		bursts = append(bursts, b)
+	}
+	sort.Slice(bursts, func(i, j int) bool { return bursts[i].t < bursts[j].t })
+
+	var out []string
+	for _, b := range bursts {
+		// One anonymous signature per provider: its op counts, sorted.
+		var sigs []string
+		for _, ops := range b.byPos {
+			names := make([]string, 0, len(ops))
+			for op := range ops {
+				names = append(names, op)
+			}
+			sort.Strings(names)
+			var parts []string
+			for _, op := range names {
+				parts = append(parts, fmt.Sprintf("%s×%d", op, ops[op]))
+			}
+			sigs = append(sigs, strings.Join(parts, ","))
+		}
+		sort.Strings(sigs)
+		out = append(out, "["+strings.Join(sigs, " | ")+"]")
+	}
+	return strings.Join(out, " ")
+}

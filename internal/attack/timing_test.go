@@ -1,0 +1,136 @@
+package attack
+
+import (
+	"testing"
+)
+
+// trace builds a TimedAccess list from (t, provider, op, key) rows.
+func trace(rows ...[4]string) []TimedAccess {
+	var out []TimedAccess
+	for _, r := range rows {
+		var t int64
+		for _, c := range r[0] {
+			t = t*10 + int64(c-'0')
+		}
+		out = append(out, TimedAccess{T: t, Provider: r[1], Op: r[2], Key: r[3]})
+	}
+	return out
+}
+
+func TestCoOwnershipGroupsMergesBursts(t *testing.T) {
+	// File A's shards a1,a2 co-arrive at t=1 and t=3 (a2 with a3);
+	// file B's shards arrive alone-ish at t=2.
+	tr := trace(
+		[4]string{"1", "p0", "get", "a1"},
+		[4]string{"1", "p1", "get", "a2"},
+		[4]string{"2", "p0", "get", "b1"},
+		[4]string{"2", "p2", "get", "b2"},
+		[4]string{"3", "p1", "get", "a2"},
+		[4]string{"3", "p2", "get", "a3"},
+	)
+	groups := CoOwnershipGroups(tr)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want 2 groups", groups)
+	}
+	// Transitive merge: a1–a2 at t=1, a2–a3 at t=3 → {a1,a2,a3}.
+	if len(groups[0]) != 3 || groups[0][0] != "a1" || groups[0][2] != "a3" {
+		t.Fatalf("group 0 = %v, want [a1 a2 a3]", groups[0])
+	}
+	if len(groups[1]) != 2 || groups[1][0] != "b1" {
+		t.Fatalf("group 1 = %v, want [b1 b2]", groups[1])
+	}
+
+	truth := map[string]string{"a1": "A", "a2": "A", "a3": "A", "b1": "B", "b2": "B"}
+	p, r, f1 := PairScore(groups, truth)
+	if p != 1 || r != 1 || f1 != 1 {
+		t.Fatalf("perfect grouping scored p=%v r=%v f1=%v", p, r, f1)
+	}
+}
+
+func TestPairScorePenalizesWrongMerges(t *testing.T) {
+	// One burst mixes the two files: the attacker merges everything.
+	tr := trace(
+		[4]string{"1", "p0", "get", "a1"},
+		[4]string{"1", "p1", "get", "a2"},
+		[4]string{"1", "p0", "get", "b1"},
+	)
+	groups := CoOwnershipGroups(tr)
+	truth := map[string]string{"a1": "A", "a2": "A", "b1": "B"}
+	p, r, _ := PairScore(groups, truth)
+	if r != 1 {
+		t.Fatalf("recall = %v, want 1 (the true pair a1-a2 was found)", r)
+	}
+	if p >= 1 {
+		t.Fatalf("precision = %v, want < 1 (a-b pairs are wrong)", p)
+	}
+	if cf := CrossLabelFraction(groups, truth); cf <= 0 {
+		t.Fatalf("cross-label fraction = %v, want > 0 for a merged A/B group", cf)
+	}
+}
+
+func TestCrossLabelFractionZeroWhenIsolated(t *testing.T) {
+	tr := trace(
+		[4]string{"1", "p0", "get", "a1"},
+		[4]string{"1", "p1", "get", "a2"},
+		[4]string{"2", "p0", "get", "b1"},
+	)
+	groups := CoOwnershipGroups(tr)
+	tenants := map[string]string{"a1": "acme", "a2": "acme", "b1": "globex"}
+	if cf := CrossLabelFraction(groups, tenants); cf != 0 {
+		t.Fatalf("isolated tenants scored confusion %v, want 0", cf)
+	}
+}
+
+func TestAccessPatternIsIdentityBlind(t *testing.T) {
+	// Same shape, different tenant/provider/key identities.
+	a := trace(
+		[4]string{"1", "p0", "get", "a1"},
+		[4]string{"1", "p1", "get", "a2"},
+		[4]string{"2", "p0", "get", "a1"},
+	)
+	b := trace(
+		[4]string{"7", "p4", "get", "z9"},
+		[4]string{"7", "p2", "get", "z3"},
+		[4]string{"9", "p4", "get", "z9"},
+	)
+	if AccessPattern(a) != AccessPattern(b) {
+		t.Fatalf("identical shapes produced different patterns:\n  %s\n  %s",
+			AccessPattern(a), AccessPattern(b))
+	}
+	// A warm hit (no provider requests in the burst) differs from a
+	// cold miss: the channel AccessPattern is built to expose.
+	c := trace(
+		[4]string{"1", "p0", "get", "a1"},
+		[4]string{"2", "p0", "get", "a1"},
+	)
+	if AccessPattern(a) == AccessPattern(c) {
+		t.Fatal("patterns with different burst shapes compare equal")
+	}
+}
+
+func TestCoOwnershipGroupsDeterministic(t *testing.T) {
+	tr := trace(
+		[4]string{"2", "p1", "get", "k3"},
+		[4]string{"1", "p0", "put", "k1"},
+		[4]string{"1", "p0", "put", "k2"},
+		[4]string{"2", "p1", "get", "k1"},
+		[4]string{"3", "p2", "get", "k5"},
+	)
+	first := CoOwnershipGroups(tr)
+	for i := 0; i < 10; i++ {
+		again := CoOwnershipGroups(tr)
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %v vs %v", i, again, first)
+		}
+		for g := range again {
+			if len(again[g]) != len(first[g]) {
+				t.Fatalf("run %d: %v vs %v", i, again, first)
+			}
+			for m := range again[g] {
+				if again[g][m] != first[g][m] {
+					t.Fatalf("run %d: %v vs %v", i, again, first)
+				}
+			}
+		}
+	}
+}

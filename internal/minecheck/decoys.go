@@ -1,0 +1,128 @@
+package minecheck
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// Decoy construction, one strategy per dataset. Each returns whole
+// fabricated records for core's line-level mislead injection
+// (UploadOptions.MisleadLines): decoys parse exactly like real rows, so
+// an attacker's miner ingests them, but mislead.Strip removes them on
+// any authorised read. The strategies target what each mining family
+// actually learns:
+//
+//   - regression decoys come from a *different* linear pricing rule, so
+//     the pooled fit lands between the true and decoy models (the
+//     paper's three mutually inconsistent misleading equations);
+//   - clustering decoys reuse real user IDs against a single wrong
+//     anchor, collapsing the between-group structure the dendrogram cut
+//     recovers;
+//   - association decoys are anti-rule baskets (antecedent without
+//     consequent), driving planted-rule confidence under threshold;
+//   - prediction decoys are label-flipped patient rows, pushing the
+//     class-conditional statistics toward coin-flip.
+
+// decoyBiddingModel is the wrong pricing rule decoys are drawn from —
+// deliberately far from PaperBiddingModel in every coefficient.
+func decoyBiddingModel() dataset.BiddingModel {
+	return dataset.BiddingModel{A: -3, B: 8, C: 0.1, D: 777, Noise: 0}
+}
+
+// biddingDecoys fabricates n bidding rows priced by the decoy rule.
+func biddingDecoys(n int, rng *rand.Rand) [][]byte {
+	recs := dataset.GenerateBiddingHistory(n, decoyBiddingModel(), rng)
+	return csvLines(dataset.BiddingCSV(recs))
+}
+
+// gpsDecoys fabricates n observations that reuse the real user IDs
+// against per-user *random* wrong anchors inside the city: plausible
+// enough to survive an analyst's range filter, and because each user is
+// dragged in an independent random direction (with decoys outweighing
+// real observations), the between-group geometry the dendrogram cut
+// recovers is scrambled rather than merely translated.
+func gpsDecoys(n, users int, rng *rand.Rand) [][]byte {
+	anchors := make([][2]float64, users)
+	for u := range anchors {
+		anchors[u] = [2]float64{
+			23.78 + (rng.Float64()-0.5)*0.9,
+			90.40 + (rng.Float64()-0.5)*0.9,
+		}
+	}
+	var pts []dataset.GPSPoint
+	for i := 0; i < n; i++ {
+		u := rng.Intn(users)
+		pts = append(pts, dataset.GPSPoint{
+			User: u,
+			T:    100000 + i,
+			Lat:  anchors[u][0] + rng.NormFloat64()*0.004,
+			Lon:  anchors[u][1] + rng.NormFloat64()*0.004,
+		})
+	}
+	return csvLines(dataset.GPSCSV(pts))
+}
+
+// basketDecoys fabricates n anti-rule transactions: each contains one
+// planted antecedent, never its consequent, plus background items.
+func basketDecoys(n int, cfg dataset.BasketConfig, rng *rand.Rand) [][]byte {
+	rules := cfg.PlantedRules
+	var out [][]byte
+	for i := 0; i < n; i++ {
+		r := rules[i%len(rules)]
+		items := map[int]bool{r[0]: true}
+		for it := 0; it < cfg.Catalog; it++ {
+			if it != r[1] && rng.Float64() < cfg.BaseProb {
+				items[it] = true
+			}
+		}
+		delete(items, r[1])
+		var line []byte
+		for it := 0; it < cfg.Catalog; it++ {
+			if items[it] {
+				if len(line) > 0 {
+					line = append(line, ',')
+				}
+				line = append(line, fmt.Sprintf("item%02d", it)...)
+			}
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// healthDecoys fabricates n patient rows with the risk label flipped
+// relative to the vitals that generated it.
+func healthDecoys(n int, seed int64) ([][]byte, error) {
+	recs, err := dataset.GenerateHealthRecords(dataset.HealthConfig{
+		Patients: n, HighRiskFraction: 0.5, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range recs {
+		recs[i].Patient += 100000
+		if recs[i].Risk == "high" {
+			recs[i].Risk = "low"
+		} else {
+			recs[i].Risk = "high"
+		}
+	}
+	return csvLines(dataset.HealthCSV(recs)), nil
+}
+
+// csvLines splits serialized CSV into data lines, dropping the header
+// (decoy headers would be trivially strippable duplicates).
+func csvLines(data []byte) [][]byte {
+	lines := bytes.Split(bytes.TrimRight(data, "\n"), []byte("\n"))
+	var out [][]byte
+	for i, l := range lines {
+		if i == 0 || len(l) == 0 {
+			continue
+		}
+		out = append(out, append([]byte(nil), l...))
+	}
+	return out
+}

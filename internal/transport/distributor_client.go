@@ -207,8 +207,13 @@ type UploadOptions struct {
 	Assurance       raid.Level
 	NoParity        bool
 	MisleadFraction float64
-	Replicas        int
-	EncryptKey      []byte
+	// MisleadLines supplies whole decoy records to blend into the
+	// chunks instead of byte-level decoys — the knob line-oriented
+	// files use so decoys parse like real records and poison mining
+	// (core.UploadOptions.MisleadLines, carried over the wire).
+	MisleadLines [][]byte
+	Replicas     int
+	EncryptKey   []byte
 }
 
 // Upload ships a file to the distributor.
@@ -218,6 +223,7 @@ func (c *Client) Upload(client, password, filename string, data []byte, pl priva
 		PL: int(pl), Data: data,
 		Assurance: int(opts.Assurance), NoParity: opts.NoParity,
 		MisleadFraction: opts.MisleadFraction,
+		MisleadLines:    opts.MisleadLines,
 		Replicas:        opts.Replicas,
 		EncryptKey:      opts.EncryptKey,
 	})

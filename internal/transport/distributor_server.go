@@ -106,8 +106,11 @@ type uploadReq struct {
 	Assurance       int     `json:"assurance,omitempty"`
 	NoParity        bool    `json:"noParity,omitempty"`
 	MisleadFraction float64 `json:"misleadFraction,omitempty"`
-	Replicas        int     `json:"replicas,omitempty"`
-	EncryptKey      []byte  `json:"encryptKey,omitempty"`
+	// MisleadLines are whole decoy records to blend into the chunks
+	// (core.UploadOptions.MisleadLines); []byte marshals as base64.
+	MisleadLines [][]byte `json:"misleadLines,omitempty"`
+	Replicas     int      `json:"replicas,omitempty"`
+	EncryptKey   []byte   `json:"encryptKey,omitempty"`
 }
 
 type chunkReq struct {
@@ -157,6 +160,7 @@ func (s *DistributorServer) upload(w http.ResponseWriter, r *http.Request) {
 		Assurance:       raid.Level(req.Assurance),
 		NoParity:        req.NoParity,
 		MisleadFraction: req.MisleadFraction,
+		MisleadLines:    req.MisleadLines,
 		Replicas:        req.Replicas,
 		EncryptKey:      req.EncryptKey,
 	})

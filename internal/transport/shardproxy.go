@@ -96,6 +96,7 @@ func (p *ShardProxy) upload(w http.ResponseWriter, r *http.Request) {
 		Assurance:       raid.Level(req.Assurance),
 		NoParity:        req.NoParity,
 		MisleadFraction: req.MisleadFraction,
+		MisleadLines:    req.MisleadLines,
 		Replicas:        req.Replicas,
 		EncryptKey:      req.EncryptKey,
 	})

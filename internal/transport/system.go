@@ -136,14 +136,36 @@ func (s *System) eachShard(fn func(i int, c *Client) error) error {
 }
 
 // RegisterClient creates the account on every shard: files of one
-// client hash across the whole ring, so each shard must know it.
+// client hash across the whole ring, so each shard must know it. The
+// fan-out has no atomicity — a shard that is down stays unregistered
+// and rejects that client's uploads until repaired — so a shard that
+// already knows the client (core.ErrExists) counts as success: callers
+// repair a partial registration by simply re-issuing the call once the
+// missing shard is back (the scrub-style reconciliation for ROADMAP's
+// cross-shard gap). Real failures keep their "shard %d (url)" prefix so
+// the caller knows exactly which shard needs the retry.
 func (s *System) RegisterClient(name string) error {
-	return s.eachShard(func(_ int, c *Client) error { return c.RegisterClient(name) })
+	return s.eachShard(func(_ int, c *Client) error {
+		return idempotent(c.RegisterClient(name))
+	})
 }
 
-// AddPassword registers the ⟨password, PL⟩ pair on every shard.
+// AddPassword registers the ⟨password, PL⟩ pair on every shard, with
+// the same idempotent-repair contract as RegisterClient: shards that
+// already hold the password acknowledge instead of failing the fan-out.
 func (s *System) AddPassword(client, password string, pl privacy.Level) error {
-	return s.eachShard(func(_ int, c *Client) error { return c.AddPassword(client, password, pl) })
+	return s.eachShard(func(_ int, c *Client) error {
+		return idempotent(c.AddPassword(client, password, pl))
+	})
+}
+
+// idempotent maps "already exists" to success for namespace-wide
+// mutations whose goal state is presence, not creation.
+func idempotent(err error) error {
+	if errors.Is(err, core.ErrExists) {
+		return nil
+	}
+	return err
 }
 
 // Upload ships a file to its owning shard.
